@@ -1,0 +1,146 @@
+//! Enumeration of satisfying cubes (paths to the `true` terminal).
+
+use crate::manager::{Bdd, BddManager};
+use crate::node::{NodeId, VarId};
+
+/// A partial assignment: one entry per variable, `None` meaning "don't care".
+///
+/// Each cube corresponds to one path from the root of a BDD to the `true`
+/// terminal; the set of satisfying assignments of the BDD is the disjoint
+/// union of the assignments covered by its cubes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cube {
+    values: Vec<Option<bool>>,
+}
+
+impl Cube {
+    /// Value of `var` in this cube (`None` = unconstrained).
+    pub fn value(&self, var: VarId) -> Option<bool> {
+        self.values.get(var as usize).copied().flatten()
+    }
+
+    /// The fixed literals of the cube as `(var, value)` pairs.
+    pub fn literals(&self) -> Vec<(VarId, bool)> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|b| (i as VarId, b)))
+            .collect()
+    }
+
+    /// Number of assignments covered by this cube, given the total number of
+    /// variables.
+    pub fn assignment_count(&self, num_vars: usize) -> u128 {
+        let fixed = self.values.iter().filter(|v| v.is_some()).count();
+        1u128 << (num_vars - fixed).min(127)
+    }
+
+    /// Full assignments covered by the cube with don't-cares expanded to
+    /// `false`.
+    pub fn to_assignment(&self, num_vars: usize) -> Vec<bool> {
+        (0..num_vars)
+            .map(|i| self.values.get(i).copied().flatten().unwrap_or(false))
+            .collect()
+    }
+}
+
+/// Iterator over the satisfying cubes of a BDD.
+pub struct CubeIter<'a> {
+    manager: &'a BddManager,
+    num_vars: usize,
+    stack: Vec<(NodeId, Vec<Option<bool>>)>,
+}
+
+impl<'a> CubeIter<'a> {
+    /// Creates an iterator over the cubes of `f`.
+    pub fn new(manager: &'a BddManager, f: Bdd) -> Self {
+        let num_vars = manager.num_vars();
+        CubeIter {
+            manager,
+            num_vars,
+            stack: vec![(f.node_id(), vec![None; num_vars])],
+        }
+    }
+}
+
+impl Iterator for CubeIter<'_> {
+    type Item = Cube;
+
+    fn next(&mut self) -> Option<Cube> {
+        while let Some((node, values)) = self.stack.pop() {
+            match node {
+                NodeId::FALSE => continue,
+                NodeId::TRUE => return Some(Cube { values }),
+                _ => {
+                    let (var, low, high) = self.manager.node_triple(node);
+                    let mut low_values = values.clone();
+                    low_values[var as usize] = Some(false);
+                    let mut high_values = values;
+                    high_values[var as usize] = Some(true);
+                    self.stack.push((low, low_values));
+                    self.stack.push((high, high_values));
+                }
+            }
+        }
+        let _ = self.num_vars;
+        None
+    }
+}
+
+impl BddManager {
+    /// Iterates over the satisfying cubes of `f`.
+    pub fn cubes(&self, f: Bdd) -> CubeIter<'_> {
+        CubeIter::new(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cubes_of_simple_functions() {
+        let mut m = BddManager::new(3);
+        let a = m.var(0);
+        let c = m.var(2);
+        let f = m.and(a, c);
+        let cubes: Vec<Cube> = m.cubes(f).collect();
+        assert_eq!(cubes.len(), 1);
+        assert_eq!(cubes[0].literals(), vec![(0, true), (2, true)]);
+        assert_eq!(cubes[0].value(1), None);
+        assert_eq!(cubes[0].assignment_count(3), 2);
+    }
+
+    #[test]
+    fn cubes_partition_the_on_set() {
+        let mut m = BddManager::new(4);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.and(a, b);
+        let nc = m.not(c);
+        let f = m.or(ab, nc);
+        let total: u128 = m.cubes(f).map(|cube| cube.assignment_count(4)).sum();
+        assert_eq!(total, m.sat_count(f));
+    }
+
+    #[test]
+    fn cube_assignments_evaluate_to_true() {
+        let mut m = BddManager::new(4);
+        let a = m.var(0);
+        let b = m.var(1);
+        let d = m.var(3);
+        let bd = m.and(b, d);
+        let f = m.xor(a, bd);
+        for cube in m.cubes(f) {
+            assert!(m.eval(f, &cube.to_assignment(4)));
+        }
+    }
+
+    #[test]
+    fn false_has_no_cubes() {
+        let m = BddManager::new(2);
+        assert_eq!(m.cubes(m.bottom()).count(), 0);
+        assert_eq!(m.cubes(m.top()).count(), 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! Reduced Ordered Binary Decision Diagrams (ROBDDs).
+//!
+//! The DAC'96 state-encoding paper attributes its capacity to handle
+//! "extremely large state graphs" to two ingredients: reasoning at the
+//! granularity of regions, and a *symbolic* representation of the state
+//! graph by Ordered Binary Decision Diagrams.  This crate is a
+//! self-contained ROBDD package built for that second ingredient: the
+//! symbolic reachability and CSC-conflict engines of the `stg` crate encode
+//! sets of markings as BDDs over one variable per Petri-net place.
+//!
+//! Design:
+//!
+//! * a [`BddManager`] owns all nodes; hash-consing (a unique table)
+//!   guarantees canonicity, so function equality is handle equality,
+//! * [`Bdd`] is a cheap copyable handle (node index) into a manager,
+//! * binary operations go through a memoised Shannon-expansion `apply`,
+//! * quantification, substitution, restriction, satisfy-count and cube
+//!   enumeration are provided for the image computations used by symbolic
+//!   reachability.
+//!
+//! # Example
+//!
+//! ```
+//! use bdd::BddManager;
+//!
+//! let mut m = BddManager::new(3);
+//! let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+//! let ab = m.and(a, b);
+//! let f = m.or(ab, c);
+//! assert_eq!(m.sat_count(f), 5); // out of 8 assignments
+//! assert!(m.implies(ab, f));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cubes;
+mod manager;
+mod node;
+
+pub use cubes::{Cube, CubeIter};
+pub use manager::{Bdd, BddManager};
+pub use node::{NodeId, VarId};

@@ -1,0 +1,702 @@
+//! The BDD manager: hash-consed node store and Boolean operations.
+
+use crate::node::{Node, NodeId, VarId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A handle to a Boolean function stored in a [`BddManager`].
+///
+/// Handles are plain node indices: they are `Copy`, comparing them with `==`
+/// decides functional equality (thanks to canonicity), and they are only
+/// meaningful for the manager that created them.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bdd(pub(crate) NodeId);
+
+impl Bdd {
+    /// Returns the underlying node id.
+    pub fn node_id(self) -> NodeId {
+        self.0
+    }
+
+    /// Returns `true` if this is the constant `false` function.
+    pub fn is_false(self) -> bool {
+        self.0 == NodeId::FALSE
+    }
+
+    /// Returns `true` if this is the constant `true` function.
+    pub fn is_true(self) -> bool {
+        self.0 == NodeId::TRUE
+    }
+}
+
+impl fmt::Debug for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bdd({:?})", self.0)
+    }
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+enum Op {
+    And,
+    Or,
+    Xor,
+}
+
+/// Owner of all BDD nodes, the unique table and the operation caches.
+///
+/// The number of variables is fixed at construction; variables are indexed
+/// `0..num_vars` and that index is also their position in the ordering.
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, NodeId>,
+    apply_cache: HashMap<(Op, NodeId, NodeId), NodeId>,
+    not_cache: HashMap<NodeId, NodeId>,
+    num_vars: usize,
+}
+
+impl BddManager {
+    /// Creates a manager for `num_vars` Boolean variables.
+    pub fn new(num_vars: usize) -> Self {
+        let terminal = Node { var: VarId::MAX, low: NodeId::FALSE, high: NodeId::FALSE };
+        BddManager {
+            // Index 0 and 1 are reserved for the terminals; their content is
+            // never inspected through the unique table.
+            nodes: vec![terminal, terminal],
+            unique: HashMap::new(),
+            apply_cache: HashMap::new(),
+            not_cache: HashMap::new(),
+            num_vars,
+        }
+    }
+
+    /// Number of variables of this manager.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Total number of nodes allocated so far (including terminals).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The constant `true` function.
+    pub fn top(&self) -> Bdd {
+        Bdd(NodeId::TRUE)
+    }
+
+    /// The constant `false` function.
+    pub fn bottom(&self) -> Bdd {
+        Bdd(NodeId::FALSE)
+    }
+
+    /// The function of a single positive literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn var(&mut self, var: VarId) -> Bdd {
+        assert!((var as usize) < self.num_vars, "variable {var} out of range");
+        Bdd(self.mk(var, NodeId::FALSE, NodeId::TRUE))
+    }
+
+    /// The function of a single negative literal.
+    pub fn nvar(&mut self, var: VarId) -> Bdd {
+        assert!((var as usize) < self.num_vars, "variable {var} out of range");
+        Bdd(self.mk(var, NodeId::TRUE, NodeId::FALSE))
+    }
+
+    /// A literal: positive if `value` is `true`, negative otherwise.
+    pub fn literal(&mut self, var: VarId, value: bool) -> Bdd {
+        if value {
+            self.var(var)
+        } else {
+            self.nvar(var)
+        }
+    }
+
+    /// The conjunction of the given literals.
+    pub fn cube_of(&mut self, literals: &[(VarId, bool)]) -> Bdd {
+        let mut acc = self.top();
+        // Build from the highest variable down so that each `and` touches a
+        // small BDD.
+        let mut sorted: Vec<(VarId, bool)> = literals.to_vec();
+        sorted.sort_by(|a, b| b.0.cmp(&a.0));
+        for &(v, val) in &sorted {
+            let lit = self.literal(v, val);
+            acc = self.and(lit, acc);
+        }
+        acc
+    }
+
+    fn node(&self, id: NodeId) -> Node {
+        self.nodes[id.index()]
+    }
+
+    fn var_of(&self, id: NodeId) -> VarId {
+        if id.is_terminal() {
+            VarId::MAX
+        } else {
+            self.nodes[id.index()].var
+        }
+    }
+
+    fn mk(&mut self, var: VarId, low: NodeId, high: NodeId) -> NodeId {
+        if low == high {
+            return low;
+        }
+        let node = Node { var, low, high };
+        if let Some(&id) = self.unique.get(&node) {
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        id
+    }
+
+    /// Logical negation.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        Bdd(self.not_rec(f.0))
+    }
+
+    fn not_rec(&mut self, f: NodeId) -> NodeId {
+        match f {
+            NodeId::FALSE => NodeId::TRUE,
+            NodeId::TRUE => NodeId::FALSE,
+            _ => {
+                if let Some(&r) = self.not_cache.get(&f) {
+                    return r;
+                }
+                let n = self.node(f);
+                let low = self.not_rec(n.low);
+                let high = self.not_rec(n.high);
+                let r = self.mk(n.var, low, high);
+                self.not_cache.insert(f, r);
+                r
+            }
+        }
+    }
+
+    /// Logical conjunction.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        Bdd(self.apply(Op::And, f.0, g.0))
+    }
+
+    /// Logical disjunction.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        Bdd(self.apply(Op::Or, f.0, g.0))
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        Bdd(self.apply(Op::Xor, f.0, g.0))
+    }
+
+    /// `f ∧ ¬g`.
+    pub fn and_not(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.and(f, ng)
+    }
+
+    /// Exclusive nor (equivalence).
+    pub fn iff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let x = self.xor(f, g);
+        self.not(x)
+    }
+
+    /// If-then-else: `(f ∧ g) ∨ (¬f ∧ h)`.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        let fg = self.and(f, g);
+        let nf = self.not(f);
+        let nfh = self.and(nf, h);
+        self.or(fg, nfh)
+    }
+
+    /// Conjunction of an iterator of functions.
+    pub fn and_many<I: IntoIterator<Item = Bdd>>(&mut self, fs: I) -> Bdd {
+        let mut acc = self.top();
+        for f in fs {
+            acc = self.and(acc, f);
+            if acc.is_false() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction of an iterator of functions.
+    pub fn or_many<I: IntoIterator<Item = Bdd>>(&mut self, fs: I) -> Bdd {
+        let mut acc = self.bottom();
+        for f in fs {
+            acc = self.or(acc, f);
+            if acc.is_true() {
+                break;
+            }
+        }
+        acc
+    }
+
+    fn apply(&mut self, op: Op, f: NodeId, g: NodeId) -> NodeId {
+        // Terminal cases.
+        match op {
+            Op::And => {
+                if f == NodeId::FALSE || g == NodeId::FALSE {
+                    return NodeId::FALSE;
+                }
+                if f == NodeId::TRUE {
+                    return g;
+                }
+                if g == NodeId::TRUE {
+                    return f;
+                }
+                if f == g {
+                    return f;
+                }
+            }
+            Op::Or => {
+                if f == NodeId::TRUE || g == NodeId::TRUE {
+                    return NodeId::TRUE;
+                }
+                if f == NodeId::FALSE {
+                    return g;
+                }
+                if g == NodeId::FALSE {
+                    return f;
+                }
+                if f == g {
+                    return f;
+                }
+            }
+            Op::Xor => {
+                if f == g {
+                    return NodeId::FALSE;
+                }
+                if f == NodeId::FALSE {
+                    return g;
+                }
+                if g == NodeId::FALSE {
+                    return f;
+                }
+            }
+        }
+        // Normalise commutative operands for better cache hit rates.
+        let (a, b) = if f <= g { (f, g) } else { (g, f) };
+        if let Some(&r) = self.apply_cache.get(&(op, a, b)) {
+            return r;
+        }
+        let va = self.var_of(a);
+        let vb = self.var_of(b);
+        let v = va.min(vb);
+        let (a_low, a_high) = if va == v {
+            let n = self.node(a);
+            (n.low, n.high)
+        } else {
+            (a, a)
+        };
+        let (b_low, b_high) = if vb == v {
+            let n = self.node(b);
+            (n.low, n.high)
+        } else {
+            (b, b)
+        };
+        let low = self.apply(op, a_low, b_low);
+        let high = self.apply(op, a_high, b_high);
+        let r = self.mk(v, low, high);
+        self.apply_cache.insert((op, a, b), r);
+        r
+    }
+
+    /// The cofactor of `f` with `var` fixed to `value`.
+    pub fn restrict(&mut self, f: Bdd, var: VarId, value: bool) -> Bdd {
+        let mut cache = HashMap::new();
+        Bdd(self.restrict_rec(f.0, var, value, &mut cache))
+    }
+
+    fn restrict_rec(
+        &mut self,
+        f: NodeId,
+        var: VarId,
+        value: bool,
+        cache: &mut HashMap<NodeId, NodeId>,
+    ) -> NodeId {
+        if f.is_terminal() {
+            return f;
+        }
+        let n = self.node(f);
+        if n.var > var {
+            return f;
+        }
+        if let Some(&r) = cache.get(&f) {
+            return r;
+        }
+        let r = if n.var == var {
+            if value {
+                n.high
+            } else {
+                n.low
+            }
+        } else {
+            let low = self.restrict_rec(n.low, var, value, cache);
+            let high = self.restrict_rec(n.high, var, value, cache);
+            self.mk(n.var, low, high)
+        };
+        cache.insert(f, r);
+        r
+    }
+
+    /// Existential quantification of a single variable.
+    pub fn exists(&mut self, f: Bdd, var: VarId) -> Bdd {
+        let f0 = self.restrict(f, var, false);
+        let f1 = self.restrict(f, var, true);
+        self.or(f0, f1)
+    }
+
+    /// Existential quantification of a set of variables.
+    pub fn exists_many(&mut self, f: Bdd, vars: &[VarId]) -> Bdd {
+        let mut acc = f;
+        for &v in vars {
+            acc = self.exists(acc, v);
+        }
+        acc
+    }
+
+    /// Universal quantification of a single variable.
+    pub fn forall(&mut self, f: Bdd, var: VarId) -> Bdd {
+        let f0 = self.restrict(f, var, false);
+        let f1 = self.restrict(f, var, true);
+        self.and(f0, f1)
+    }
+
+    /// Universal quantification of a set of variables.
+    pub fn forall_many(&mut self, f: Bdd, vars: &[VarId]) -> Bdd {
+        let mut acc = f;
+        for &v in vars {
+            acc = self.forall(acc, v);
+        }
+        acc
+    }
+
+    /// Returns `true` if `f → g` is a tautology.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> bool {
+        self.and_not(f, g).is_false()
+    }
+
+    /// Evaluates `f` under a complete assignment (indexed by variable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is shorter than the variable index of a node
+    /// encountered during evaluation.
+    pub fn eval(&self, f: Bdd, assignment: &[bool]) -> bool {
+        let mut current = f.0;
+        while !current.is_terminal() {
+            let n = self.node(current);
+            current = if assignment[n.var as usize] { n.high } else { n.low };
+        }
+        current == NodeId::TRUE
+    }
+
+    /// Number of satisfying assignments of `f` over all `num_vars` variables
+    /// (saturating at `u128::MAX`).
+    pub fn sat_count(&self, f: Bdd) -> u128 {
+        let bits = self.num_vars as u32;
+        if bits >= 128 {
+            // Work in floating point to avoid overflow; saturate.
+            let approx = self.sat_count_f64(f);
+            return if approx >= u128::MAX as f64 { u128::MAX } else { approx as u128 };
+        }
+        let mut cache: HashMap<NodeId, u128> = HashMap::new();
+        let fraction = self.sat_fraction(f.0, &mut cache);
+        let shift = bits - self.depth_below_root(f.0);
+        fraction.checked_shl(shift).unwrap_or(u128::MAX)
+    }
+
+    /// Number of satisfying assignments as a float (usable beyond 128
+    /// variables, at the cost of rounding).
+    pub fn sat_count_f64(&self, f: Bdd) -> f64 {
+        // `density` returns the fraction of assignments (over all variables)
+        // that satisfy the sub-function rooted at `f`.
+        fn density(m: &BddManager, f: NodeId, cache: &mut HashMap<NodeId, f64>) -> f64 {
+            match f {
+                NodeId::FALSE => 0.0,
+                NodeId::TRUE => 1.0,
+                _ => {
+                    if let Some(&c) = cache.get(&f) {
+                        return c;
+                    }
+                    let n = m.node(f);
+                    let d = 0.5 * density(m, n.low, cache) + 0.5 * density(m, n.high, cache);
+                    cache.insert(f, d);
+                    d
+                }
+            }
+        }
+        let mut cache = HashMap::new();
+        density(self, f.0, &mut cache) * 2f64.powi(self.num_vars as i32)
+    }
+
+    fn depth_below_root(&self, f: NodeId) -> u32 {
+        if f.is_terminal() {
+            0
+        } else {
+            (self.num_vars as u32) - self.node(f).var
+        }
+    }
+
+    fn sat_fraction(&self, f: NodeId, cache: &mut HashMap<NodeId, u128>) -> u128 {
+        // Returns the number of satisfying assignments over the variables
+        // strictly below (and including) the root variable of `f`, assuming
+        // the remaining variables above are free (the caller scales).
+        match f {
+            NodeId::FALSE => 0,
+            NodeId::TRUE => 1,
+            _ => {
+                if let Some(&c) = cache.get(&f) {
+                    return c;
+                }
+                let n = self.node(f);
+                let count = |m: &Self, child: NodeId, cache: &mut HashMap<NodeId, u128>| {
+                    let sub = m.sat_fraction(child, cache);
+                    let child_var = if child.is_terminal() {
+                        m.num_vars as VarId
+                    } else {
+                        m.node(child).var
+                    };
+                    let gap = child_var - n.var - 1;
+                    sub.saturating_mul(1u128 << gap.min(127))
+                };
+                let total = count(self, n.low, cache).saturating_add(count(self, n.high, cache));
+                cache.insert(f, total);
+                total
+            }
+        }
+    }
+
+    /// Returns one satisfying assignment as a vector of `(var, value)` pairs
+    /// for the variables that matter, or `None` if `f` is unsatisfiable.
+    pub fn any_sat(&self, f: Bdd) -> Option<Vec<(VarId, bool)>> {
+        if f.is_false() {
+            return None;
+        }
+        let mut lits = Vec::new();
+        let mut current = f.0;
+        while !current.is_terminal() {
+            let n = self.node(current);
+            if n.low != NodeId::FALSE {
+                lits.push((n.var, false));
+                current = n.low;
+            } else {
+                lits.push((n.var, true));
+                current = n.high;
+            }
+        }
+        Some(lits)
+    }
+
+    /// The set of variables `f` depends on.
+    pub fn support(&self, f: Bdd) -> Vec<VarId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f.0];
+        while let Some(id) = stack.pop() {
+            if id.is_terminal() || !seen.insert(id) {
+                continue;
+            }
+            let n = self.node(id);
+            vars.insert(n.var);
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Number of distinct nodes reachable from `f` (a size measure).
+    pub fn size(&self, f: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f.0];
+        let mut count = 0;
+        while let Some(id) = stack.pop() {
+            if id.is_terminal() || !seen.insert(id) {
+                continue;
+            }
+            count += 1;
+            let n = self.node(id);
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        count
+    }
+
+    pub(crate) fn node_triple(&self, id: NodeId) -> (VarId, NodeId, NodeId) {
+        let n = self.node(id);
+        (n.var, n.low, n.high)
+    }
+}
+
+impl fmt::Debug for BddManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BddManager")
+            .field("num_vars", &self.num_vars)
+            .field("num_nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_literals() {
+        let mut m = BddManager::new(2);
+        assert!(m.top().is_true());
+        assert!(m.bottom().is_false());
+        let a = m.var(0);
+        let na = m.nvar(0);
+        assert_eq!(m.not(a), na);
+        assert_eq!(m.not(na), a);
+        assert_eq!(m.and(a, na), m.bottom());
+        assert_eq!(m.or(a, na), m.top());
+    }
+
+    #[test]
+    fn canonical_forms_share_nodes() {
+        let mut m = BddManager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f1 = m.and(a, b);
+        let f2 = m.and(b, a);
+        assert_eq!(f1, f2, "conjunction is canonical regardless of operand order");
+        let g1 = m.or(a, b);
+        let g2 = {
+            let na = m.not(a);
+            let nb = m.not(b);
+            let n = m.and(na, nb);
+            m.not(n)
+        };
+        assert_eq!(g1, g2, "De Morgan duals are identical nodes");
+    }
+
+    #[test]
+    fn xor_iff_ite() {
+        let mut m = BddManager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let x = m.xor(a, b);
+        assert_eq!(m.sat_count(x), 2);
+        let e = m.iff(a, b);
+        assert_eq!(m.sat_count(e), 2);
+        let nx = m.not(x);
+        assert_eq!(e, nx);
+        let i = m.ite(a, b, m.bottom());
+        let ab = m.and(a, b);
+        assert_eq!(i, ab);
+    }
+
+    #[test]
+    fn sat_count_examples() {
+        let mut m = BddManager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        assert_eq!(m.sat_count(m.top()), 8);
+        assert_eq!(m.sat_count(m.bottom()), 0);
+        assert_eq!(m.sat_count(a), 4);
+        let ab = m.and(a, b);
+        assert_eq!(m.sat_count(ab), 2);
+        let f = m.or(ab, c);
+        assert_eq!(m.sat_count(f), 5);
+        assert!((m.sat_count_f64(f) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantification() {
+        let mut m = BddManager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        let ex_b = m.exists(f, 1);
+        assert_eq!(ex_b, a);
+        let all_b = m.forall(f, 1);
+        assert!(all_b.is_false());
+        let g = m.or(a, b);
+        let all = m.forall_many(g, &[0, 1]);
+        assert!(all.is_false());
+        let ex = m.exists_many(g, &[0, 1]);
+        assert!(ex.is_true());
+    }
+
+    #[test]
+    fn restrict_cofactors() {
+        let mut m = BddManager::new(3);
+        let a = m.var(0);
+        let c = m.var(2);
+        let f = {
+            let ac = m.and(a, c);
+            let na = m.nvar(0);
+            let b = m.var(1);
+            let nab = m.and(na, b);
+            m.or(ac, nab)
+        };
+        let f_a1 = m.restrict(f, 0, true);
+        assert_eq!(f_a1, c);
+        let f_a0 = m.restrict(f, 0, false);
+        assert_eq!(f_a0, m.var(1));
+    }
+
+    #[test]
+    fn eval_and_any_sat() {
+        let mut m = BddManager::new(4);
+        let lits = [(0, true), (2, false), (3, true)];
+        let cube = m.cube_of(&lits);
+        assert!(m.eval(cube, &[true, false, false, true]));
+        assert!(m.eval(cube, &[true, true, false, true]));
+        assert!(!m.eval(cube, &[true, true, true, true]));
+        let sat = m.any_sat(cube).unwrap();
+        for (v, val) in lits {
+            assert!(sat.contains(&(v, val)));
+        }
+        assert!(m.any_sat(m.bottom()).is_none());
+    }
+
+    #[test]
+    fn support_and_size() {
+        let mut m = BddManager::new(5);
+        let a = m.var(0);
+        let d = m.var(3);
+        let f = m.xor(a, d);
+        assert_eq!(m.support(f), vec![0, 3]);
+        assert_eq!(m.size(f), 3);
+        assert_eq!(m.support(m.top()), Vec::<VarId>::new());
+        assert_eq!(m.size(m.top()), 0);
+    }
+
+    #[test]
+    fn implies_checks_entailment() {
+        let mut m = BddManager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        let aorb = m.or(a, b);
+        assert!(m.implies(ab, a));
+        assert!(m.implies(ab, aorb));
+        assert!(!m.implies(aorb, ab));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn var_out_of_range_panics() {
+        let mut m = BddManager::new(2);
+        m.var(2);
+    }
+
+    #[test]
+    fn and_or_many_fold() {
+        let mut m = BddManager::new(8);
+        let all_vars: Vec<Bdd> = (0..8).map(|i| m.var(i)).collect();
+        let conj = m.and_many(all_vars.iter().copied());
+        assert_eq!(m.sat_count(conj), 1);
+        let disj = m.or_many(all_vars.iter().copied());
+        assert_eq!(m.sat_count(disj), 255);
+    }
+}

@@ -1,0 +1,65 @@
+//! Node and variable identifiers.
+
+use std::fmt;
+
+/// Index of a BDD variable (its position in the global ordering).
+pub type VarId = u32;
+
+/// Index of a node inside a [`crate::BddManager`].
+///
+/// `NodeId(0)` is the constant `false` terminal and `NodeId(1)` the constant
+/// `true` terminal.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The `false` terminal.
+    pub const FALSE: NodeId = NodeId(0);
+    /// The `true` terminal.
+    pub const TRUE: NodeId = NodeId(1);
+
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` if this is one of the two terminal nodes.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            NodeId::FALSE => write!(f, "⊥"),
+            NodeId::TRUE => write!(f, "⊤"),
+            NodeId(i) => write!(f, "n{i}"),
+        }
+    }
+}
+
+/// An internal decision node: `if var then high else low`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct Node {
+    pub var: VarId,
+    pub low: NodeId,
+    pub high: NodeId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals() {
+        assert!(NodeId::FALSE.is_terminal());
+        assert!(NodeId::TRUE.is_terminal());
+        assert!(!NodeId(2).is_terminal());
+        assert_eq!(format!("{:?}", NodeId::FALSE), "⊥");
+        assert_eq!(format!("{:?}", NodeId::TRUE), "⊤");
+        assert_eq!(format!("{:?}", NodeId(5)), "n5");
+    }
+}

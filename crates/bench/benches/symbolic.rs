@@ -1,0 +1,22 @@
+//! Ablation C: explicit vs. BDD-symbolic reachability on the same models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn explicit_vs_symbolic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_c/reachability");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [4usize, 6] {
+        let model = stg::benchmarks::parallel_handshakes(n);
+        group.bench_function(format!("explicit/par_hs{n}"), |b| {
+            b.iter(|| criterion::black_box(model.state_graph(2_000_000).unwrap().num_states()))
+        });
+        group.bench_function(format!("symbolic/par_hs{n}"), |b| {
+            b.iter(|| criterion::black_box(model.symbolic_state_space(None).state_count()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, explicit_vs_symbolic);
+criterion_main!(benches);

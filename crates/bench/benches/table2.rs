@@ -1,0 +1,28 @@
+//! Criterion benchmark behind Table 2: full flow (solve + area estimate)
+//! with the region-based method and the excitation-region baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use synthkit::{run_flow, FlowOptions};
+
+fn region_vs_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/flow");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for (name, model) in [
+        ("vme_read", stg::benchmarks::vme_read()),
+        ("pulser", stg::benchmarks::pulser()),
+        ("seq4", stg::benchmarks::sequencer(4)),
+        ("master_read_like", stg::benchmarks::master_read_like()),
+    ] {
+        group.bench_function(format!("{name}/region"), |b| {
+            b.iter(|| criterion::black_box(run_flow(&model, &FlowOptions::default()).unwrap()))
+        });
+        group.bench_function(format!("{name}/baseline"), |b| {
+            b.iter(|| criterion::black_box(run_flow(&model, &FlowOptions::baseline()).ok()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, region_vs_baseline);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Ablation A: frontier width (FW) vs. solution quality and runtime.
+
+fn main() {
+    println!("Ablation A — frontier width sweep\n");
+    for model in [stg::benchmarks::vme_read(), stg::benchmarks::sequencer(4), stg::benchmarks::counter(2)] {
+        println!("{}", model.name());
+        println!("  {:>4} {:>9} {:>9} {:>9}", "FW", "signals", "literals", "cpu[s]");
+        for (fw, signals, literals, cpu) in bench::frontier_width_sweep(&model, &[1, 2, 4, 8, 16]) {
+            println!("  {fw:>4} {signals:>9} {literals:>9} {cpu:>9.3}");
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 1: "Results for STGs with a large number of states".
+
+fn main() {
+    println!("Table 1 — STGs with a large number of states (symbolic counts, explicit solve where feasible)\n");
+    let rows = bench::table1_rows();
+    println!("{}", bench::render_table1(&rows));
+}

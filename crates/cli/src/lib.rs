@@ -1,0 +1,204 @@
+//! High-level facade over the state-encoding toolkit.
+//!
+//! This crate ties the individual libraries together the way the `petrify`
+//! command-line tool does: read an STG, solve Complete State Coding with the
+//! region-based method (or the excitation-region baseline), estimate the
+//! implementation area, and report everything as text.  The [`rsynth`
+//! binary](../rsynth/index.html) is a thin wrapper over [`run_flow`]; the
+//! repository's examples and integration tests use the same entry points.
+//!
+//! # Example
+//!
+//! ```
+//! use synthkit::{run_flow, FlowOptions};
+//!
+//! let report = run_flow(&stg::benchmarks::vme_read(), &FlowOptions::default())?;
+//! assert!(report.csc_satisfied);
+//! assert!(report.inserted_signals >= 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use csc::{conflict_pairs, solve_stg, CscError, CscSolution, EncodedGraph, SolverConfig};
+use logic::estimate_area;
+use std::fmt;
+use std::time::Instant;
+use stg::Stg;
+
+/// Options of the end-to-end flow.
+#[derive(Clone, Debug)]
+pub struct FlowOptions {
+    /// Solver configuration (frontier width, candidate source, …).
+    pub solver: SolverConfig,
+    /// Whether to estimate the implementation area after solving.
+    pub estimate_area: bool,
+    /// Upper bound on explicit state-graph size.
+    pub max_states: usize,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        FlowOptions { solver: SolverConfig::default(), estimate_area: true, max_states: 1_000_000 }
+    }
+}
+
+impl FlowOptions {
+    /// The ASSASSIN-style baseline flow (excitation-region candidates only).
+    pub fn baseline() -> Self {
+        FlowOptions { solver: SolverConfig::excitation_region_baseline(), ..Self::default() }
+    }
+}
+
+/// Everything the flow measured for one model.
+#[derive(Clone, Debug)]
+pub struct FlowReport {
+    /// Model name.
+    pub name: String,
+    /// Places of the input STG.
+    pub places: usize,
+    /// Transitions of the input STG.
+    pub transitions: usize,
+    /// Signals of the input STG.
+    pub signals: usize,
+    /// Reachable states of the input state graph.
+    pub states: usize,
+    /// CSC conflict pairs before solving.
+    pub initial_conflicts: usize,
+    /// Whether CSC holds on the final state graph.
+    pub csc_satisfied: bool,
+    /// Number of inserted state signals.
+    pub inserted_signals: usize,
+    /// States of the final state graph.
+    pub final_states: usize,
+    /// Estimated area in literals (`None` when not requested).
+    pub literals: Option<usize>,
+    /// Whether a Petri net / STG could be re-synthesized.
+    pub resynthesized: bool,
+    /// Wall-clock seconds of the whole flow.
+    pub cpu_seconds: f64,
+}
+
+impl fmt::Display for FlowReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "model       : {}", self.name)?;
+        writeln!(
+            f,
+            "input       : {} places, {} transitions, {} signals, {} states",
+            self.places, self.transitions, self.signals, self.states
+        )?;
+        writeln!(f, "conflicts   : {}", self.initial_conflicts)?;
+        writeln!(
+            f,
+            "encoding    : {} state signal(s) inserted, {} states, CSC {}",
+            self.inserted_signals,
+            self.final_states,
+            if self.csc_satisfied { "satisfied" } else { "NOT satisfied" }
+        )?;
+        if let Some(literals) = self.literals {
+            writeln!(f, "area        : {literals} literals")?;
+        }
+        writeln!(f, "stg output  : {}", if self.resynthesized { "re-synthesized" } else { "state graph only" })?;
+        write!(f, "cpu         : {:.3} s", self.cpu_seconds)
+    }
+}
+
+/// Runs the full flow (state graph → CSC resolution → area estimate) on one
+/// STG.
+///
+/// # Errors
+///
+/// Propagates [`CscError`] from the solver; models whose CSC conflicts
+/// cannot be solved without touching the environment are reported this way.
+pub fn run_flow(model: &Stg, options: &FlowOptions) -> Result<FlowReport, CscError> {
+    let start = Instant::now();
+    let (places, transitions, signals) = model.stats();
+    let sg = model.state_graph(options.max_states)?;
+    let initial_graph = EncodedGraph::from_state_graph(&sg);
+    let initial_conflicts = conflict_pairs(&initial_graph).len();
+
+    let mut config = options.solver.clone();
+    config.max_states = options.max_states;
+    let solution: CscSolution = csc::solve_state_graph(&sg, &config)?;
+
+    let literals = if options.estimate_area {
+        estimate_area(&solution.graph).ok().map(|r| r.total_literals)
+    } else {
+        None
+    };
+
+    let _ = solve_stg; // re-exported path kept for doc visibility
+    Ok(FlowReport {
+        name: model.name().to_owned(),
+        places,
+        transitions,
+        signals,
+        states: sg.num_states(),
+        initial_conflicts,
+        csc_satisfied: solution.graph.complete_state_coding_holds(),
+        inserted_signals: solution.inserted_signals.len(),
+        final_states: solution.graph.num_states(),
+        literals,
+        resynthesized: solution.stg.is_some(),
+        cpu_seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Renders a collection of reports as an aligned text table (one row per
+/// model), in the spirit of Table 2 of the paper.
+pub fn render_table(reports: &[FlowReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18} {:>7} {:>10} {:>8} {:>8} {:>9} {:>8}\n",
+        "benchmark", "states", "conflicts", "signals", "area", "cpu[s]", "csc"
+    ));
+    for r in reports {
+        out.push_str(&format!(
+            "{:<18} {:>7} {:>10} {:>8} {:>8} {:>9.3} {:>8}\n",
+            r.name,
+            r.states,
+            r.initial_conflicts,
+            r.inserted_signals,
+            r.literals.map_or_else(|| "-".to_owned(), |l| l.to_string()),
+            r.cpu_seconds,
+            if r.csc_satisfied { "yes" } else { "no" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_on_the_vme_controller() {
+        let report = run_flow(&stg::benchmarks::vme_read(), &FlowOptions::default()).unwrap();
+        assert!(report.csc_satisfied);
+        assert!(report.inserted_signals >= 1);
+        assert!(report.literals.unwrap() > 0);
+        assert_eq!(report.signals, 5);
+        let text = report.to_string();
+        assert!(text.contains("vme_read"));
+        assert!(text.contains("CSC satisfied"));
+    }
+
+    #[test]
+    fn table_rendering_includes_every_model() {
+        let reports = vec![
+            run_flow(&stg::benchmarks::handshake(), &FlowOptions::default()).unwrap(),
+            run_flow(&stg::benchmarks::pulser(), &FlowOptions::default()).unwrap(),
+        ];
+        let table = render_table(&reports);
+        assert!(table.contains("handshake"));
+        assert!(table.contains("pulser"));
+        assert!(table.lines().count() >= 3);
+    }
+
+    #[test]
+    fn baseline_options_use_excitation_regions() {
+        let options = FlowOptions::baseline();
+        assert_eq!(options.solver.candidate_source, csc::CandidateSource::ExcitationRegions);
+    }
+}

@@ -1,0 +1,153 @@
+//! `rsynth` — command-line driver for region-based state encoding.
+//!
+//! ```text
+//! rsynth --benchmark vme_read              # run a built-in benchmark
+//! rsynth path/to/model.g                   # read an STG in .g format
+//! rsynth --benchmark seq8 --baseline       # excitation-region baseline
+//! rsynth --list                            # list built-in benchmarks
+//! rsynth path/to/model.g --write-g out.g   # write the encoded STG back
+//! ```
+
+use std::process::ExitCode;
+use synthkit::{run_flow, FlowOptions};
+
+fn print_usage() {
+    eprintln!(
+        "usage: rsynth [<model.g>] [--benchmark <name>] [--baseline] [--fw <n>] \
+         [--enlarge] [--no-area] [--write-g <path>] [--list]"
+    );
+}
+
+fn builtin(name: &str) -> Option<stg::Stg> {
+    match name {
+        "handshake" => Some(stg::benchmarks::handshake()),
+        "pulser" => Some(stg::benchmarks::pulser()),
+        "vme_read" => Some(stg::benchmarks::vme_read()),
+        "master_read_like" => Some(stg::benchmarks::master_read_like()),
+        _ => {
+            if let Some(n) = name.strip_prefix("seq") {
+                return n.parse().ok().map(stg::benchmarks::sequencer);
+            }
+            if let Some(n) = name.strip_prefix("counter") {
+                return n.parse().ok().map(stg::benchmarks::counter);
+            }
+            if let Some(n) = name.strip_prefix("par_hs") {
+                return n.parse().ok().map(stg::benchmarks::parallel_handshakes);
+            }
+            if let Some(n) = name.strip_prefix("pulser_bank") {
+                return n.parse().ok().map(stg::benchmarks::pulser_bank);
+            }
+            if let Some(n) = name.strip_prefix("par") {
+                return n.parse().ok().map(stg::benchmarks::parallelizer);
+            }
+            None
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input_path: Option<String> = None;
+    let mut benchmark: Option<String> = None;
+    let mut options = FlowOptions::default();
+    let mut write_g: Option<String> = None;
+    let mut index = 0;
+    while index < args.len() {
+        match args[index].as_str() {
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            "--list" => {
+                println!("built-in benchmarks:");
+                for (name, _, _) in stg::benchmarks::table2_suite() {
+                    println!("  {name}");
+                }
+                println!("  parN, par_hsN, seqN, counterN, pulser_bankN (parameterised)");
+                return ExitCode::SUCCESS;
+            }
+            "--baseline" => options.solver = csc::SolverConfig::excitation_region_baseline(),
+            "--enlarge" => options.solver.enlarge_concurrency = true,
+            "--no-area" => options.estimate_area = false,
+            "--fw" => {
+                index += 1;
+                match args.get(index).and_then(|v| v.parse().ok()) {
+                    Some(fw) => options.solver.frontier_width = fw,
+                    None => {
+                        eprintln!("--fw needs a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--benchmark" => {
+                index += 1;
+                benchmark = args.get(index).cloned();
+            }
+            "--write-g" => {
+                index += 1;
+                write_g = args.get(index).cloned();
+            }
+            other if !other.starts_with('-') => input_path = Some(other.to_owned()),
+            other => {
+                eprintln!("unknown option '{other}'");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+        index += 1;
+    }
+
+    let model = match (&input_path, &benchmark) {
+        (Some(path), _) => match std::fs::read_to_string(path) {
+            Ok(text) => match stg::parse_g(&text) {
+                Ok(model) => model,
+                Err(e) => {
+                    eprintln!("failed to parse {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("failed to read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, Some(name)) => match builtin(name) {
+            Some(model) => model,
+            None => {
+                eprintln!("unknown benchmark '{name}' (try --list)");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, None) => {
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match run_flow(&model, &options) {
+        Ok(report) => {
+            println!("{report}");
+            if let Some(path) = write_g {
+                // Re-solve keeping the STG so we can serialise it.
+                let solution = csc::solve_stg(&model, &options.solver);
+                match solution {
+                    Ok(sol) => match sol.stg {
+                        Some(encoded) => match std::fs::write(&path, encoded.to_g()) {
+                            Ok(()) => println!("encoded STG written to {path}"),
+                            Err(e) => eprintln!("could not write {path}: {e}"),
+                        },
+                        None => eprintln!(
+                            "the encoded state graph is not excitation closed; no STG was written"
+                        ),
+                    },
+                    Err(e) => eprintln!("re-synthesis failed: {e}"),
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("state encoding failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! CSC conflict detection.
+//!
+//! Two states are in *CSC conflict* when they carry the same binary signal
+//! code but enable different sets of non-input signals (paper §4): no logic
+//! function of the signal values can then tell them apart, so the non-input
+//! signals cannot be implemented.  States with equal codes and equal enabled
+//! non-input sets (USC violations that are not CSC violations) are harmless.
+
+use crate::EncodedGraph;
+use std::collections::HashMap;
+use ts::StateId;
+
+/// A pair of states witnessing a CSC violation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CscConflict {
+    /// First state (smaller id).
+    pub a: StateId,
+    /// Second state.
+    pub b: StateId,
+    /// The shared binary code.
+    pub code: u64,
+}
+
+/// Enumerates every CSC conflict pair of the graph.
+///
+/// The result is sorted by `(code, a, b)` so that runs are deterministic.
+pub fn conflict_pairs(graph: &EncodedGraph) -> Vec<CscConflict> {
+    let mut by_code: HashMap<u64, Vec<StateId>> = HashMap::new();
+    for s in 0..graph.num_states() {
+        let s = StateId::from(s);
+        by_code.entry(graph.code(s)).or_default().push(s);
+    }
+    let mut conflicts = Vec::new();
+    for (&code, states) in &by_code {
+        if states.len() < 2 {
+            continue;
+        }
+        for i in 0..states.len() {
+            for j in (i + 1)..states.len() {
+                let (a, b) = (states[i], states[j]);
+                if graph.enabled_non_input_mask(a) != graph.enabled_non_input_mask(b) {
+                    let (a, b) = if a < b { (a, b) } else { (b, a) };
+                    conflicts.push(CscConflict { a, b, code });
+                }
+            }
+        }
+    }
+    conflicts.sort_by_key(|c| (c.code, c.a, c.b));
+    conflicts
+}
+
+/// Enumerates every pair of distinct states with equal codes (USC
+/// violations), whether or not they are CSC conflicts.
+pub fn code_clash_pairs(graph: &EncodedGraph) -> Vec<(StateId, StateId)> {
+    let mut by_code: HashMap<u64, Vec<StateId>> = HashMap::new();
+    for s in 0..graph.num_states() {
+        let s = StateId::from(s);
+        by_code.entry(graph.code(s)).or_default().push(s);
+    }
+    let mut pairs = Vec::new();
+    for states in by_code.values() {
+        for i in 0..states.len() {
+            for j in (i + 1)..states.len() {
+                pairs.push((states[i], states[j]));
+            }
+        }
+    }
+    pairs.sort();
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EncodedGraph;
+    use stg::benchmarks;
+
+    fn graph_of(stg: &stg::Stg) -> EncodedGraph {
+        EncodedGraph::from_state_graph(&stg.state_graph(100_000).unwrap())
+    }
+
+    #[test]
+    fn handshake_has_no_conflicts() {
+        let graph = graph_of(&benchmarks::handshake());
+        assert!(conflict_pairs(&graph).is_empty());
+        assert!(code_clash_pairs(&graph).is_empty());
+    }
+
+    #[test]
+    fn pulser_has_exactly_two_conflict_pairs() {
+        let graph = graph_of(&benchmarks::pulser());
+        let conflicts = conflict_pairs(&graph);
+        assert_eq!(conflicts.len(), 2);
+        for c in &conflicts {
+            assert_eq!(graph.code(c.a), graph.code(c.b));
+            assert_ne!(graph.enabled_non_input_mask(c.a), graph.enabled_non_input_mask(c.b));
+            assert!(c.a < c.b);
+        }
+    }
+
+    #[test]
+    fn vme_read_has_conflicts() {
+        let graph = graph_of(&benchmarks::vme_read());
+        assert!(!conflict_pairs(&graph).is_empty());
+    }
+
+    #[test]
+    fn sequencer_conflicts_grow_with_length() {
+        let small = conflict_pairs(&graph_of(&benchmarks::sequencer(2))).len();
+        let large = conflict_pairs(&graph_of(&benchmarks::sequencer(6))).len();
+        assert!(large > small);
+    }
+
+    #[test]
+    fn usc_violations_need_not_be_csc_violations() {
+        // A dummy event duplicates a code without touching outputs.
+        use stg::{Polarity, StgBuilder};
+        let mut b = StgBuilder::new("dummy");
+        let a = b.add_input("a");
+        let ap = b.add_edge(a, Polarity::Rise);
+        let eps = b.add_dummy("eps");
+        let am = b.add_edge(a, Polarity::Fall);
+        b.connect_cycle(&[ap, eps, am]);
+        let graph = graph_of(&b.build().unwrap());
+        assert!(conflict_pairs(&graph).is_empty());
+        assert_eq!(code_clash_pairs(&graph).len(), 1);
+    }
+
+    #[test]
+    fn conflict_enumeration_is_deterministic() {
+        let graph = graph_of(&benchmarks::sequencer(4));
+        let first = conflict_pairs(&graph);
+        let second = conflict_pairs(&graph);
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,242 @@
+//! I-partitions: from a block of states to the excitation regions of the
+//! new state signal.
+//!
+//! Given a bipartition `{b, b̄}` of the states, the paper derives an
+//! *I-partition* `(S0, S+, S1, S-)` for the new signal `x`:
+//!
+//! * `S+` (= `ER(x+)`) is the minimal well-formed exit border of `b̄`: the
+//!   states of `b̄` from which `b` is entered, closed forward inside `b̄`,
+//! * `S-` (= `ER(x-)`) is the minimal well-formed exit border of `b`,
+//! * `S1 = b − S-` and `S0 = b̄ − S+` are the stable-1 and stable-0 regions.
+//!
+//! The only boundary crossings the construction can produce are the legal
+//! ones `S0 → S+ → S1 → S- → S0` plus the two "short-circuit" crossings
+//! `S+ → S-` and `S- → S+`, which are allowed by the definition but would
+//! make the new signal non-persistent; they are counted so the cost
+//! function can avoid them.
+
+use ts::{StateSet, TransitionSystem};
+
+/// The four blocks of an I-partition for one new state signal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IPartition {
+    /// The block `b`: states where the new signal is (stably or while
+    /// falling) 1.
+    pub block: StateSet,
+    /// `ER(x+)`: states where the new signal is 0 and excited to rise.
+    pub er_rise: StateSet,
+    /// `ER(x-)`: states where the new signal is 1 and excited to fall.
+    pub er_fall: StateSet,
+    /// States where the new signal is stably 1.
+    pub s1: StateSet,
+    /// States where the new signal is stably 0.
+    pub s0: StateSet,
+}
+
+/// Computes the minimal well-formed exit border of `set` (paper §4):
+/// the states of `set` with a transition leaving `set`, closed under
+/// successors that stay inside `set`.
+pub fn minimal_well_formed_exit_border(ts: &TransitionSystem, set: &StateSet) -> StateSet {
+    let mut border = ts.exit_border(set);
+    // Close forward: a successor (inside the set) of a border state must be
+    // in the border too, otherwise there would be a transition from the
+    // border back into the interior.
+    loop {
+        let mut changed = false;
+        for s in border.clone().iter() {
+            for &(_, target) in ts.successors(s) {
+                if set.contains(target) && !border.contains(target) {
+                    border.insert(target);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    border
+}
+
+impl IPartition {
+    /// Derives the I-partition induced by `block`.
+    ///
+    /// Returns `None` when the partition is degenerate: the block is empty
+    /// or covers every state, or one of the derived excitation regions is
+    /// empty (the new signal would never rise or never fall).
+    pub fn from_block(ts: &TransitionSystem, block: &StateSet) -> Option<IPartition> {
+        if block.is_empty() || block.len() == ts.num_states() {
+            return None;
+        }
+        let complement = block.complement();
+        let er_fall = minimal_well_formed_exit_border(ts, block);
+        let er_rise = minimal_well_formed_exit_border(ts, &complement);
+        if er_fall.is_empty() || er_rise.is_empty() {
+            return None;
+        }
+        let s1 = block.difference(&er_fall);
+        let s0 = complement.difference(&er_rise);
+        Some(IPartition { block: block.clone(), er_rise, er_fall, s1, s0 })
+    }
+
+    /// The stable value the new signal takes in `state` once the insertion
+    /// has settled: 1 inside the block, 0 outside.
+    pub fn stable_value(&self, state: ts::StateId) -> bool {
+        self.block.contains(state)
+    }
+
+    /// Returns `true` if the bipartition puts `a` and `b` on different
+    /// sides.
+    pub fn separates(&self, a: ts::StateId, b: ts::StateId) -> bool {
+        self.block.contains(a) != self.block.contains(b)
+    }
+
+    /// Returns `true` if the pair is separated and neither state lies in an
+    /// excitation region of the new signal, so the conflict is guaranteed to
+    /// be resolved (border states may produce secondary conflicts, paper
+    /// Fig. 3).
+    pub fn cleanly_separates(&self, a: ts::StateId, b: ts::StateId) -> bool {
+        self.separates(a, b)
+            && !self.er_rise.contains(a)
+            && !self.er_rise.contains(b)
+            && !self.er_fall.contains(a)
+            && !self.er_fall.contains(b)
+    }
+
+    /// Number of transitions that jump directly between the two excitation
+    /// regions (`S+ → S-` or `S- → S+`).  These are allowed by the
+    /// I-partition definition but make the inserted signal non-persistent,
+    /// so the cost function penalises them heavily.
+    pub fn short_circuit_transitions(&self, ts: &TransitionSystem) -> usize {
+        ts.transitions()
+            .iter()
+            .filter(|t| {
+                (self.er_rise.contains(t.source) && self.er_fall.contains(t.target))
+                    || (self.er_fall.contains(t.source) && self.er_rise.contains(t.target))
+            })
+            .count()
+    }
+
+    /// The number of distinct events that enter `ER(x+)` or `ER(x-)` — the
+    /// *trigger* count used by the paper as its logic-complexity estimate.
+    pub fn trigger_event_count(&self, ts: &TransitionSystem) -> usize {
+        let mut triggers = std::collections::HashSet::new();
+        for t in ts.transitions() {
+            if !self.er_rise.contains(t.source) && self.er_rise.contains(t.target) {
+                triggers.insert(("rise", t.event));
+            }
+            if !self.er_fall.contains(t.source) && self.er_fall.contains(t.target) {
+                triggers.insert(("fall", t.event));
+            }
+        }
+        triggers.len()
+    }
+
+    /// Difference between the sizes of the two sides of the bipartition
+    /// (used as a tie-breaker: balanced partitions tend to solve more
+    /// secondary conflicts later).
+    pub fn imbalance(&self) -> usize {
+        let inside = self.block.len();
+        let outside = self.block.capacity() - inside;
+        inside.abs_diff(outside)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts::{StateId, TransitionSystemBuilder};
+
+    /// A ring of six states (the pulser shape).
+    fn ring(n: usize) -> TransitionSystem {
+        let mut b = TransitionSystemBuilder::new();
+        let states: Vec<StateId> = (0..n).map(|i| b.add_state(format!("s{i}"))).collect();
+        for i in 0..n {
+            b.add_transition(states[i], format!("e{i}"), states[(i + 1) % n]);
+        }
+        b.build(states[0]).unwrap()
+    }
+
+    fn set(ts: &TransitionSystem, ids: &[u32]) -> StateSet {
+        StateSet::from_states(ts.num_states(), ids.iter().map(|&i| StateId(i)))
+    }
+
+    #[test]
+    fn exit_border_of_a_ring_segment() {
+        let ts = ring(6);
+        let block = set(&ts, &[1, 2, 3]);
+        let eb = ts.exit_border(&block);
+        assert_eq!(eb, set(&ts, &[3]));
+        let mwfeb = minimal_well_formed_exit_border(&ts, &block);
+        assert_eq!(mwfeb, set(&ts, &[3]), "the plain exit border is already well-formed");
+    }
+
+    #[test]
+    fn mwfeb_grows_until_well_formed() {
+        // Block {1, 2, 4} in a 6-ring: state 2 exits (to 3) and state 4
+        // exits (to 5); the successor of 1 inside the block is 2 which is
+        // already a border state, so MWFEB = {2, 4}.
+        let ts = ring(6);
+        let block = set(&ts, &[1, 2, 4]);
+        let mwfeb = minimal_well_formed_exit_border(&ts, &block);
+        assert_eq!(mwfeb, set(&ts, &[2, 4]));
+    }
+
+    #[test]
+    fn ipartition_of_a_ring_half() {
+        let ts = ring(6);
+        let block = set(&ts, &[3, 4, 5]);
+        let part = IPartition::from_block(&ts, &block).unwrap();
+        assert_eq!(part.er_fall, set(&ts, &[5]), "x falls when leaving the block");
+        assert_eq!(part.er_rise, set(&ts, &[2]), "x rises when about to enter the block");
+        assert_eq!(part.s1, set(&ts, &[3, 4]));
+        assert_eq!(part.s0, set(&ts, &[0, 1]));
+        assert!(part.stable_value(StateId(4)));
+        assert!(!part.stable_value(StateId(0)));
+        assert!(part.separates(StateId(0), StateId(4)));
+        assert!(part.cleanly_separates(StateId(0), StateId(4)));
+        assert!(!part.cleanly_separates(StateId(2), StateId(4)), "state 2 is in ER(x+)");
+        assert_eq!(part.short_circuit_transitions(&ts), 0);
+        assert_eq!(part.trigger_event_count(&ts), 2);
+        assert_eq!(part.imbalance(), 0);
+    }
+
+    #[test]
+    fn degenerate_blocks_are_rejected() {
+        let ts = ring(4);
+        assert!(IPartition::from_block(&ts, &StateSet::new(4)).is_none());
+        assert!(IPartition::from_block(&ts, &StateSet::full(4)).is_none());
+    }
+
+    #[test]
+    fn adjacent_excitation_regions_short_circuit() {
+        // Block {1} in a 4-ring: ER(x-) = {1}, ER(x+) = MWFEB({0,2,3}) =
+        // {0}?  State 0 exits the complement into 1; closure adds nothing
+        // within the complement on the path 0 -> 1?  Successor of 0 is 1
+        // which is not in the complement, so ER(x+) = {0} and the partition
+        // has a direct S+ -> S- transition.
+        let ts = ring(4);
+        let block = set(&ts, &[1]);
+        let part = IPartition::from_block(&ts, &block).unwrap();
+        assert_eq!(part.er_fall, set(&ts, &[1]));
+        assert!(part.er_rise.contains(StateId(0)));
+        assert!(part.short_circuit_transitions(&ts) >= 1);
+        assert!(part.s1.is_empty());
+    }
+
+    #[test]
+    fn two_state_block_in_a_small_ring() {
+        // Block {0, 1} in a 3-ring: only state 1 exits the block and its
+        // in-block successors are none, so the border stays minimal and the
+        // stable-1 region is {0}.
+        let ts = ring(3);
+        let block = set(&ts, &[0, 1]);
+        let mwfeb = minimal_well_formed_exit_border(&ts, &block);
+        assert_eq!(mwfeb, set(&ts, &[1]));
+        let part = IPartition::from_block(&ts, &block).unwrap();
+        assert_eq!(part.s1, set(&ts, &[0]));
+        assert_eq!(part.er_fall, set(&ts, &[1]));
+        assert_eq!(part.er_rise, set(&ts, &[2]));
+        assert!(part.s0.is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Area estimation and speed-independence (output persistency) checks.
+
+use crate::nextstate::{derive_next_state_functions, LogicError};
+use csc::EncodedGraph;
+use stg::SignalKind;
+use ts::EventId;
+
+/// Area of one signal's implementation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SignalArea {
+    /// Signal name.
+    pub name: String,
+    /// Literal count of the minimized next-state cover.
+    pub literals: usize,
+    /// Product-term count of the minimized cover.
+    pub cubes: usize,
+}
+
+/// Literal-count area report for a whole state graph — the metric reported
+/// in the "area" columns of Table 2.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AreaReport {
+    /// Per-signal breakdown (non-input signals only).
+    pub signals: Vec<SignalArea>,
+    /// Sum of all literal counts.
+    pub total_literals: usize,
+    /// Sum of all product-term counts.
+    pub total_cubes: usize,
+}
+
+/// Estimates the implementation area of a CSC-satisfying encoded graph as
+/// the total literal count of the minimized next-state functions.
+///
+/// # Errors
+///
+/// Returns [`LogicError::CscViolation`] when the graph does not satisfy CSC.
+pub fn estimate_area(graph: &EncodedGraph) -> Result<AreaReport, LogicError> {
+    let functions = derive_next_state_functions(graph)?;
+    let signals: Vec<SignalArea> = functions
+        .functions
+        .iter()
+        .map(|f| SignalArea { name: f.name.clone(), literals: f.literals(), cubes: f.cubes() })
+        .collect();
+    let total_literals = signals.iter().map(|s| s.literals).sum();
+    let total_cubes = signals.iter().map(|s| s.cubes).sum();
+    Ok(AreaReport { signals, total_literals, total_cubes })
+}
+
+/// Returns the names of non-input signals that are not persistent in the
+/// state graph: some other event can disable an excited output, which makes
+/// a hazard-free speed-independent implementation impossible.
+pub fn output_persistency_violations(graph: &EncodedGraph) -> Vec<String> {
+    let mut violations = Vec::new();
+    for e in 0..graph.ts.num_events() {
+        let event = EventId::from(e);
+        let Some((signal, _)) = graph.event_edges[e] else { continue };
+        if graph.signals[signal.index()].kind == SignalKind::Input {
+            continue;
+        }
+        if graph.ts.persistency_violation(event).is_some() {
+            let name = graph.signals[signal.index()].name.clone();
+            if !violations.contains(&name) {
+                violations.push(name);
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csc::{solve_stg, SolverConfig};
+    use stg::benchmarks;
+
+    #[test]
+    fn handshake_area_is_minimal() {
+        let graph = EncodedGraph::from_state_graph(
+            &benchmarks::handshake().state_graph(100).unwrap(),
+        );
+        let report = estimate_area(&graph).unwrap();
+        assert_eq!(report.total_literals, 1);
+        assert_eq!(report.signals.len(), 1);
+        assert_eq!(report.signals[0].name, "ack");
+        assert!(output_persistency_violations(&graph).is_empty());
+    }
+
+    #[test]
+    fn area_grows_with_problem_size() {
+        let config = SolverConfig::default();
+        let small = estimate_area(&solve_stg(&benchmarks::sequencer(2), &config).unwrap().graph)
+            .unwrap()
+            .total_literals;
+        let large = estimate_area(&solve_stg(&benchmarks::sequencer(5), &config).unwrap().graph)
+            .unwrap()
+            .total_literals;
+        assert!(large > small, "seq5 ({large}) must need more literals than seq2 ({small})");
+    }
+
+    #[test]
+    fn unsolved_graph_cannot_be_estimated() {
+        let graph =
+            EncodedGraph::from_state_graph(&benchmarks::vme_read().state_graph(10_000).unwrap());
+        assert!(estimate_area(&graph).is_err());
+    }
+
+    #[test]
+    fn solved_graphs_are_output_persistent() {
+        let config = SolverConfig::default();
+        for model in [benchmarks::pulser(), benchmarks::vme_read()] {
+            let solution = solve_stg(&model, &config).unwrap();
+            assert!(
+                output_persistency_violations(&solution.graph).is_empty(),
+                "{} lost output persistency",
+                model.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Cubes and covers (two-level sum-of-products representation).
+
+use std::fmt;
+
+/// The value of one variable inside a cube.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Literal {
+    /// The variable must be 0.
+    Zero,
+    /// The variable must be 1.
+    One,
+    /// The variable does not appear in the cube.
+    DontCare,
+}
+
+/// A product term over `n` Boolean variables.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Cube {
+    literals: Vec<Literal>,
+}
+
+impl Cube {
+    /// The universal cube (no literal fixed) over `n` variables.
+    pub fn universe(n: usize) -> Self {
+        Cube { literals: vec![Literal::DontCare; n] }
+    }
+
+    /// A minterm: every variable fixed according to `bits` (bit `i` =
+    /// variable `i`).
+    pub fn minterm(n: usize, bits: u64) -> Self {
+        Cube {
+            literals: (0..n)
+                .map(|i| if bits & (1 << i) != 0 { Literal::One } else { Literal::Zero })
+                .collect(),
+        }
+    }
+
+    /// Number of variables of the cube's space.
+    pub fn num_vars(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// The literal of variable `var`.
+    pub fn literal(&self, var: usize) -> Literal {
+        self.literals[var]
+    }
+
+    /// Sets the literal of variable `var`.
+    pub fn set_literal(&mut self, var: usize, literal: Literal) {
+        self.literals[var] = literal;
+    }
+
+    /// Number of fixed literals (the cube's contribution to the literal
+    /// count of a cover).
+    pub fn literal_count(&self) -> usize {
+        self.literals.iter().filter(|l| **l != Literal::DontCare).count()
+    }
+
+    /// Returns `true` if the cube contains the given minterm.
+    pub fn contains_minterm(&self, bits: u64) -> bool {
+        self.literals.iter().enumerate().all(|(i, l)| match l {
+            Literal::DontCare => true,
+            Literal::One => bits & (1 << i) != 0,
+            Literal::Zero => bits & (1 << i) == 0,
+        })
+    }
+
+    /// Returns `true` if every minterm of `other` is contained in `self`.
+    pub fn covers(&self, other: &Cube) -> bool {
+        self.literals.iter().zip(&other.literals).all(|(a, b)| match (a, b) {
+            (Literal::DontCare, _) => true,
+            (a, b) => a == b,
+        })
+    }
+
+    /// Returns `true` if the two cubes share at least one minterm.
+    pub fn intersects(&self, other: &Cube) -> bool {
+        self.literals.iter().zip(&other.literals).all(|(a, b)| {
+            !matches!((a, b), (Literal::One, Literal::Zero) | (Literal::Zero, Literal::One))
+        })
+    }
+
+    /// Renders the cube in the usual `10-1` positional notation.
+    pub fn to_pattern(&self) -> String {
+        self.literals
+            .iter()
+            .map(|l| match l {
+                Literal::Zero => '0',
+                Literal::One => '1',
+                Literal::DontCare => '-',
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cube({})", self.to_pattern())
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_pattern())
+    }
+}
+
+/// A sum of product terms.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Cover {
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// The empty cover (constant 0).
+    pub fn empty() -> Self {
+        Cover { cubes: Vec::new() }
+    }
+
+    /// Builds a cover from cubes.
+    pub fn from_cubes(cubes: Vec<Cube>) -> Self {
+        Cover { cubes }
+    }
+
+    /// The cubes of the cover.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Adds a cube.
+    pub fn push(&mut self, cube: Cube) {
+        self.cubes.push(cube);
+    }
+
+    /// Number of cubes.
+    pub fn len(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Returns `true` if the cover has no cubes (constant 0).
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Total number of literals across all cubes — the area metric.
+    pub fn literal_count(&self) -> usize {
+        self.cubes.iter().map(Cube::literal_count).sum()
+    }
+
+    /// Returns `true` if some cube contains the minterm.
+    pub fn contains_minterm(&self, bits: u64) -> bool {
+        self.cubes.iter().any(|c| c.contains_minterm(bits))
+    }
+
+    /// Returns `true` if some cube of the cover intersects `cube`.
+    pub fn intersects_cube(&self, cube: &Cube) -> bool {
+        self.cubes.iter().any(|c| c.intersects(cube))
+    }
+}
+
+impl fmt::Debug for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.cubes.iter().map(Cube::to_pattern)).finish()
+    }
+}
+
+impl FromIterator<Cube> for Cover {
+    fn from_iter<I: IntoIterator<Item = Cube>>(iter: I) -> Self {
+        Cover { cubes: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minterms_and_patterns() {
+        let c = Cube::minterm(4, 0b1010);
+        assert_eq!(c.to_pattern(), "0101");
+        assert!(c.contains_minterm(0b1010));
+        assert!(!c.contains_minterm(0b1011));
+        assert_eq!(c.literal_count(), 4);
+        assert_eq!(Cube::universe(4).literal_count(), 0);
+        assert!(Cube::universe(4).contains_minterm(0b1111));
+    }
+
+    #[test]
+    fn covering_and_intersection() {
+        let mut broad = Cube::universe(3);
+        broad.set_literal(0, Literal::One);
+        let narrow = Cube::minterm(3, 0b101);
+        assert!(broad.covers(&narrow));
+        assert!(!narrow.covers(&broad));
+        assert!(broad.intersects(&narrow));
+        let disjoint = Cube::minterm(3, 0b010);
+        assert!(!broad.intersects(&disjoint));
+        assert!(!broad.covers(&disjoint));
+    }
+
+    #[test]
+    fn cover_queries() {
+        let cover: Cover =
+            [Cube::minterm(3, 0b001), Cube::minterm(3, 0b110)].into_iter().collect();
+        assert_eq!(cover.len(), 2);
+        assert_eq!(cover.literal_count(), 6);
+        assert!(cover.contains_minterm(0b001));
+        assert!(!cover.contains_minterm(0b111));
+        assert!(cover.intersects_cube(&Cube::universe(3)));
+        assert!(Cover::empty().is_empty());
+        assert_eq!(Cover::empty().literal_count(), 0);
+    }
+
+    #[test]
+    fn display_uses_positional_notation() {
+        let mut c = Cube::universe(3);
+        c.set_literal(1, Literal::Zero);
+        c.set_literal(2, Literal::One);
+        assert_eq!(format!("{c}"), "-01");
+    }
+}

@@ -1,0 +1,47 @@
+//! Logic derivation for speed-independent circuits.
+//!
+//! Once Complete State Coding holds, every non-input signal `a` has a
+//! well-defined *next-state function* over the signal values: in each
+//! reachable state the implementation must drive `a` to 1 exactly when `a`
+//! is rising or stably high.  This crate derives those functions from an
+//! encoded state graph, minimizes them with a compact two-level minimizer,
+//! and reports literal counts — the "area" metric used to compare the
+//! region-based CSC solver with the ASSASSIN-style baseline in Table 2 of
+//! the paper.
+//!
+//! Contents:
+//!
+//! * [`Cube`] / [`Cover`] — positional-cube two-level representation,
+//! * [`minimize_cover`] — expand + irredundant minimization against an
+//!   OFF-set,
+//! * [`NextStateFunctions`] — ON/OFF/don't-care extraction per non-input
+//!   signal ([`derive_next_state_functions`]),
+//! * [`AreaReport`] — literal-count area estimates
+//!   ([`estimate_area`]),
+//! * output-persistency verification ([`output_persistency_violations`]).
+//!
+//! # Example
+//!
+//! ```
+//! use csc::{solve_stg, SolverConfig};
+//! use logic::estimate_area;
+//! use stg::benchmarks;
+//!
+//! let solution = solve_stg(&benchmarks::pulser(), &SolverConfig::default())?;
+//! let report = estimate_area(&solution.graph)?;
+//! assert!(report.total_literals > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod cube;
+mod minimize;
+mod nextstate;
+
+pub use area::{estimate_area, output_persistency_violations, AreaReport, SignalArea};
+pub use cube::{Cover, Cube, Literal};
+pub use minimize::minimize_cover;
+pub use nextstate::{derive_next_state_functions, LogicError, NextStateFunctions, SignalFunction};

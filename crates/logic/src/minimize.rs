@@ -1,0 +1,183 @@
+//! A compact two-level minimizer (expand + irredundant).
+//!
+//! The minimizer follows the classical espresso recipe in reduced form:
+//! every ON-set cube is greedily *expanded* (literals are dropped while the
+//! cube stays disjoint from the OFF-set, so don't-care minterms are absorbed
+//! implicitly), then an *irredundant* pass removes cubes whose minterms are
+//! already covered by the rest of the cover.  The result is a valid cover of
+//! the ON-set that never intersects the OFF-set; it is not guaranteed to be
+//! globally minimum, which matches the paper's use of literal counts as an
+//! area *estimate*.
+
+use crate::cube::{Cover, Cube, Literal};
+
+/// Minimizes `on_set` against `off_set`.
+///
+/// Every minterm of `on_set` remains covered; no cube of the result
+/// intersects `off_set`; everything else (the don't-care space) may be
+/// absorbed freely.
+///
+/// # Panics
+///
+/// Panics if a cube of `on_set` intersects `off_set` (the caller guarantees
+/// disjointness — for next-state functions that is exactly the CSC
+/// property).
+pub fn minimize_cover(on_set: &Cover, off_set: &Cover) -> Cover {
+    for cube in on_set.cubes() {
+        assert!(
+            !off_set.intersects_cube(cube),
+            "ON-set cube {cube} intersects the OFF-set; the function is ill-defined"
+        );
+    }
+
+    // Expansion: drop literals greedily, preferring the literal whose removal
+    // keeps the cube disjoint from the OFF-set.
+    let mut expanded: Vec<Cube> = Vec::with_capacity(on_set.len());
+    for cube in on_set.cubes() {
+        let mut current = cube.clone();
+        let num_vars = current.num_vars();
+        loop {
+            let mut dropped_any = false;
+            for var in 0..num_vars {
+                if current.literal(var) == Literal::DontCare {
+                    continue;
+                }
+                let mut trial = current.clone();
+                trial.set_literal(var, Literal::DontCare);
+                if !off_set.intersects_cube(&trial) {
+                    current = trial;
+                    dropped_any = true;
+                }
+            }
+            if !dropped_any {
+                break;
+            }
+        }
+        expanded.push(current);
+    }
+
+    // Deduplicate and drop cubes covered by another single cube.
+    expanded.sort_by_key(|c| std::cmp::Reverse(c.literal_count()));
+    let mut kept: Vec<Cube> = Vec::new();
+    for cube in expanded.into_iter() {
+        if !kept.iter().any(|k| k.covers(&cube)) {
+            kept.push(cube);
+        }
+    }
+
+    // Irredundant pass: remove cubes all of whose ON-set minterms are covered
+    // by the remaining cubes.  Checking against the original ON-set keeps the
+    // pass exact without enumerating the cube's full minterm set.
+    let mut result: Vec<Cube> = kept.clone();
+    let mut index = 0;
+    while index < result.len() {
+        let candidate = result[index].clone();
+        let others: Vec<&Cube> = result.iter().enumerate().filter(|&(i, _)| i != index).map(|(_, c)| c).collect();
+        let still_covered = on_set.cubes().iter().all(|on_cube| {
+            if !candidate.intersects(on_cube) {
+                return true;
+            }
+            // Every ON-set cube that the candidate helps cover must already be
+            // covered by some other cube entirely (ON-set cubes are minterms
+            // or small cubes here, so whole-cube coverage is the right test).
+            others.iter().any(|o| o.covers(on_cube))
+        });
+        if still_covered && result.len() > 1 {
+            result.remove(index);
+        } else {
+            index += 1;
+        }
+    }
+
+    Cover::from_cubes(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minterms(n: usize, bits: &[u64]) -> Cover {
+        bits.iter().map(|&b| Cube::minterm(n, b)).collect()
+    }
+
+    #[test]
+    fn xor_cannot_be_compressed() {
+        let on = minterms(2, &[0b01, 0b10]);
+        let off = minterms(2, &[0b00, 0b11]);
+        let min = minimize_cover(&on, &off);
+        assert_eq!(min.len(), 2);
+        assert_eq!(min.literal_count(), 4);
+    }
+
+    #[test]
+    fn single_variable_function_collapses_to_one_literal() {
+        // f = a over variables (a, b): ON = {10, 11}, OFF = {00, 01}.
+        let on = minterms(2, &[0b01, 0b11]);
+        let off = minterms(2, &[0b00, 0b10]);
+        let min = minimize_cover(&on, &off);
+        assert_eq!(min.len(), 1);
+        assert_eq!(min.literal_count(), 1);
+        assert!(min.contains_minterm(0b01));
+        assert!(min.contains_minterm(0b11));
+        assert!(!min.contains_minterm(0b00));
+    }
+
+    #[test]
+    fn dont_cares_are_absorbed() {
+        // Three variables; ON = {000}, OFF = {111}; everything else is DC.
+        let on = minterms(3, &[0b000]);
+        let off = minterms(3, &[0b111]);
+        let min = minimize_cover(&on, &off);
+        assert_eq!(min.len(), 1);
+        assert!(min.literal_count() <= 1, "a single literal separates ON from OFF");
+        assert!(min.contains_minterm(0b000));
+        assert!(!min.contains_minterm(0b111));
+    }
+
+    #[test]
+    fn cover_remains_correct_on_random_functions() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let n = 4;
+            let mut on_bits = Vec::new();
+            let mut off_bits = Vec::new();
+            for m in 0..(1u64 << n) {
+                match rng.gen_range(0..3) {
+                    0 => on_bits.push(m),
+                    1 => off_bits.push(m),
+                    _ => {}
+                }
+            }
+            if on_bits.is_empty() {
+                continue;
+            }
+            let on = minterms(n, &on_bits);
+            let off = minterms(n, &off_bits);
+            let min = minimize_cover(&on, &off);
+            for &m in &on_bits {
+                assert!(min.contains_minterm(m), "ON minterm {m:b} lost");
+            }
+            for &m in &off_bits {
+                assert!(!min.contains_minterm(m), "OFF minterm {m:b} covered");
+            }
+            assert!(min.literal_count() <= on.literal_count());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "intersects the OFF-set")]
+    fn overlapping_on_and_off_sets_panic() {
+        let on = minterms(2, &[0b01]);
+        let off = minterms(2, &[0b01]);
+        let _ = minimize_cover(&on, &off);
+    }
+
+    #[test]
+    fn empty_on_set_gives_constant_zero() {
+        let min = minimize_cover(&Cover::empty(), &minterms(2, &[0b00]));
+        assert!(min.is_empty());
+        assert_eq!(min.literal_count(), 0);
+    }
+}

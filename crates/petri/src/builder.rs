@@ -1,0 +1,230 @@
+//! Incremental construction of Petri nets.
+
+use crate::net::{PlaceId, TransId};
+use crate::{Marking, PetriError, PetriNet};
+use std::collections::HashMap;
+
+/// Builder for [`PetriNet`].
+///
+/// Places and transitions are interned by name.  Arcs may be added in any
+/// order; [`PetriNetBuilder::build`] validates the result and freezes the
+/// adjacency indices.
+///
+/// # Example
+///
+/// ```
+/// use petri::PetriNetBuilder;
+///
+/// let mut b = PetriNetBuilder::new();
+/// let p = b.add_place("ready", 1);
+/// let t = b.add_transition("go");
+/// b.add_arc_place_to_transition(p, t);
+/// let net = b.build()?;
+/// assert!(net.is_enabled(net.initial_marking(), t));
+/// # Ok::<(), petri::PetriError>(())
+/// ```
+#[derive(Default, Debug, Clone)]
+pub struct PetriNetBuilder {
+    place_names: Vec<String>,
+    place_tokens: Vec<u32>,
+    place_index: HashMap<String, PlaceId>,
+    trans_names: Vec<String>,
+    trans_index: HashMap<String, TransId>,
+    pre: Vec<Vec<PlaceId>>,
+    post: Vec<Vec<PlaceId>>,
+}
+
+impl PetriNetBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or looks up) a place; `tokens` is its initial token count
+    /// (0 or 1 for safe nets).  If the place already exists its marking is
+    /// left unchanged.
+    pub fn add_place(&mut self, name: impl Into<String>, tokens: u32) -> PlaceId {
+        let name = name.into();
+        if let Some(&id) = self.place_index.get(&name) {
+            return id;
+        }
+        let id = PlaceId::from(self.place_names.len());
+        self.place_index.insert(name.clone(), id);
+        self.place_names.push(name);
+        self.place_tokens.push(tokens);
+        id
+    }
+
+    /// Adds (or looks up) a transition by name.
+    pub fn add_transition(&mut self, name: impl Into<String>) -> TransId {
+        let name = name.into();
+        if let Some(&id) = self.trans_index.get(&name) {
+            return id;
+        }
+        let id = TransId::from(self.trans_names.len());
+        self.trans_index.insert(name.clone(), id);
+        self.trans_names.push(name);
+        self.pre.push(Vec::new());
+        self.post.push(Vec::new());
+        id
+    }
+
+    /// Adds an arc from `place` to `transition` (the transition consumes a
+    /// token from the place).
+    pub fn add_arc_place_to_transition(&mut self, place: PlaceId, transition: TransId) {
+        self.pre[transition.index()].push(place);
+    }
+
+    /// Adds an arc from `transition` to `place` (the transition produces a
+    /// token into the place).
+    pub fn add_arc_transition_to_place(&mut self, transition: TransId, place: PlaceId) {
+        self.post[transition.index()].push(place);
+    }
+
+    /// Convenience: adds a fresh place connecting `from` to `to`, optionally
+    /// marked.  Returns the new place.
+    pub fn connect(
+        &mut self,
+        from: TransId,
+        to: TransId,
+        name: impl Into<String>,
+        marked: bool,
+    ) -> PlaceId {
+        let p = self.add_place(name, u32::from(marked));
+        self.add_arc_transition_to_place(from, p);
+        self.add_arc_place_to_transition(p, to);
+        p
+    }
+
+    /// Number of places added so far.
+    pub fn num_places(&self) -> usize {
+        self.place_names.len()
+    }
+
+    /// Number of transitions added so far.
+    pub fn num_transitions(&self) -> usize {
+        self.trans_names.len()
+    }
+
+    /// Marks `place` with a token in the initial marking.
+    pub fn mark_place(&mut self, place: PlaceId) {
+        self.place_tokens[place.index()] = 1;
+    }
+
+    /// Finalises the net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::EmptyNet`] if there is no place or no
+    /// transition, and [`PetriError::DuplicateArc`] if the same arc was added
+    /// twice.
+    pub fn build(self) -> Result<PetriNet, PetriError> {
+        if self.place_names.is_empty() || self.trans_names.is_empty() {
+            return Err(PetriError::EmptyNet);
+        }
+        let num_places = self.place_names.len();
+        let mut pre = self.pre;
+        let mut post = self.post;
+        for (t, places) in pre.iter_mut().chain(post.iter_mut()).enumerate() {
+            places.sort();
+            let before = places.len();
+            places.dedup();
+            if places.len() != before {
+                return Err(PetriError::DuplicateArc {
+                    description: format!("around transition index {t}"),
+                });
+            }
+        }
+        let mut place_out = vec![Vec::new(); num_places];
+        let mut place_in = vec![Vec::new(); num_places];
+        for (t, places) in pre.iter().enumerate() {
+            for p in places {
+                place_out[p.index()].push(TransId::from(t));
+            }
+        }
+        for (t, places) in post.iter().enumerate() {
+            for p in places {
+                place_in[p.index()].push(TransId::from(t));
+            }
+        }
+        let initial = Marking::from_places(
+            num_places,
+            self.place_tokens
+                .iter()
+                .enumerate()
+                .filter(|(_, &tokens)| tokens > 0)
+                .map(|(i, _)| PlaceId::from(i)),
+        );
+        Ok(PetriNet::from_parts(
+            self.place_names,
+            self.trans_names,
+            pre,
+            post,
+            place_out,
+            place_in,
+            initial,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_and_counts() {
+        let mut b = PetriNetBuilder::new();
+        let p1 = b.add_place("p", 0);
+        let p2 = b.add_place("p", 1);
+        assert_eq!(p1, p2);
+        assert_eq!(b.num_places(), 1);
+        let t1 = b.add_transition("t");
+        let t2 = b.add_transition("t");
+        assert_eq!(t1, t2);
+        assert_eq!(b.num_transitions(), 1);
+    }
+
+    #[test]
+    fn empty_net_is_rejected() {
+        assert_eq!(PetriNetBuilder::new().build().unwrap_err(), PetriError::EmptyNet);
+        let mut only_place = PetriNetBuilder::new();
+        only_place.add_place("p", 0);
+        assert_eq!(only_place.build().unwrap_err(), PetriError::EmptyNet);
+    }
+
+    #[test]
+    fn duplicate_arcs_are_rejected() {
+        let mut b = PetriNetBuilder::new();
+        let p = b.add_place("p", 1);
+        let t = b.add_transition("t");
+        b.add_arc_place_to_transition(p, t);
+        b.add_arc_place_to_transition(p, t);
+        assert!(matches!(b.build().unwrap_err(), PetriError::DuplicateArc { .. }));
+    }
+
+    #[test]
+    fn connect_creates_marked_or_unmarked_places() {
+        let mut b = PetriNetBuilder::new();
+        let t1 = b.add_transition("t1");
+        let t2 = b.add_transition("t2");
+        b.connect(t1, t2, "q", true);
+        b.connect(t2, t1, "r", false);
+        let net = b.build().unwrap();
+        assert_eq!(net.num_places(), 2);
+        let q = net.place_id("q").unwrap();
+        let r = net.place_id("r").unwrap();
+        assert!(net.initial_marking().is_marked(q));
+        assert!(!net.initial_marking().is_marked(r));
+        assert!(net.is_enabled(net.initial_marking(), t2));
+    }
+
+    #[test]
+    fn mark_place_after_creation() {
+        let mut b = PetriNetBuilder::new();
+        let p = b.add_place("p", 0);
+        b.add_transition("t");
+        b.mark_place(p);
+        let net = b.build().unwrap();
+        assert_eq!(net.initial_marking().token_count(), 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for Petri-net construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or analysing a Petri net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PetriError {
+    /// The net has no transitions or no places.
+    EmptyNet,
+    /// A place or transition index is out of range.
+    UnknownNode {
+        /// Human-readable kind ("place" or "transition").
+        kind: &'static str,
+        /// Offending index.
+        index: usize,
+        /// Number of nodes of that kind.
+        count: usize,
+    },
+    /// A duplicate arc was added between the same pair of nodes.
+    DuplicateArc {
+        /// Description of the arc.
+        description: String,
+    },
+    /// The reachability analysis found a marking that puts more than one
+    /// token in a place, so the net is not safe.
+    NotSafe {
+        /// Name of the offending place.
+        place: String,
+        /// Name of the transition whose firing caused the violation.
+        transition: String,
+    },
+    /// The reachability analysis exceeded the caller-supplied state limit.
+    StateLimitExceeded {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// The initial marking enables no transition and the net has places
+    /// marked inconsistently (e.g. everything empty).
+    DeadInitialMarking,
+}
+
+impl fmt::Display for PetriError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PetriError::EmptyNet => write!(f, "petri net must have at least one place and one transition"),
+            PetriError::UnknownNode { kind, index, count } => {
+                write!(f, "{kind} index {index} out of range (net has {count})")
+            }
+            PetriError::DuplicateArc { description } => write!(f, "duplicate arc {description}"),
+            PetriError::NotSafe { place, transition } => write!(
+                f,
+                "net is not safe: firing '{transition}' puts a second token in place '{place}'"
+            ),
+            PetriError::StateLimitExceeded { limit } => {
+                write!(f, "reachability graph exceeds the limit of {limit} states")
+            }
+            PetriError::DeadInitialMarking => {
+                write!(f, "initial marking enables no transition")
+            }
+        }
+    }
+}
+
+impl Error for PetriError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_relevant_names() {
+        let e = PetriError::NotSafe { place: "p3".into(), transition: "a+".into() };
+        let msg = e.to_string();
+        assert!(msg.contains("p3"));
+        assert!(msg.contains("a+"));
+        assert!(PetriError::StateLimitExceeded { limit: 7 }.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,55 @@
+//! Petri nets for asynchronous circuit synthesis.
+//!
+//! A Petri net `N = (P, T, F, m0)` consists of places, transitions, a flow
+//! relation and an initial marking.  Signal Transition Graphs — the input
+//! formalism of the DAC'96 state-encoding paper — are Petri nets whose
+//! transitions are labelled with signal edges; their *reachability graph*
+//! is the transition system on which regions, CSC conflicts and event
+//! insertion are defined.
+//!
+//! This crate provides:
+//!
+//! * [`PetriNet`] and [`PetriNetBuilder`] — the net structure with packed
+//!   pre-/post-set indices,
+//! * [`Marking`] — a bit-set marking for safe (1-bounded) nets,
+//! * explicit reachability-graph construction producing a
+//!   [`ts::TransitionSystem`] ([`PetriNet::reachability_graph`]),
+//! * safeness / boundedness diagnostics and structural queries used by net
+//!   synthesis.
+//!
+//! # Example
+//!
+//! ```
+//! use petri::PetriNetBuilder;
+//!
+//! // A two-stage producer/consumer pipeline.
+//! let mut b = PetriNetBuilder::new();
+//! let idle = b.add_place("idle", 1);
+//! let full = b.add_place("full", 0);
+//! let produce = b.add_transition("produce");
+//! let consume = b.add_transition("consume");
+//! b.add_arc_place_to_transition(idle, produce);
+//! b.add_arc_transition_to_place(produce, full);
+//! b.add_arc_place_to_transition(full, consume);
+//! b.add_arc_transition_to_place(consume, idle);
+//! let net = b.build()?;
+//!
+//! let rg = net.reachability_graph(1_000)?;
+//! assert_eq!(rg.ts.num_states(), 2);
+//! # Ok::<(), petri::PetriError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod marking;
+mod net;
+mod reach;
+
+pub use builder::PetriNetBuilder;
+pub use error::PetriError;
+pub use marking::Marking;
+pub use net::{PetriNet, PlaceId, TransId};
+pub use reach::ReachabilityGraph;

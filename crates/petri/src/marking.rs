@@ -1,0 +1,141 @@
+//! Markings of safe Petri nets.
+
+use crate::net::PlaceId;
+use std::fmt;
+
+/// A marking of a safe (1-bounded) Petri net: the set of marked places,
+/// packed into machine words.
+///
+/// Markings are used both as graph-search keys during reachability analysis
+/// and as the state payload of the generated transition system, so they are
+/// compact, hashable and cheap to clone.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Marking {
+    words: Vec<u64>,
+    num_places: usize,
+}
+
+impl Marking {
+    /// The empty marking over `num_places` places.
+    pub fn empty(num_places: usize) -> Self {
+        Marking { words: vec![0; num_places.div_ceil(64)], num_places }
+    }
+
+    /// A marking with exactly the given places marked.
+    pub fn from_places<I: IntoIterator<Item = PlaceId>>(num_places: usize, marked: I) -> Self {
+        let mut m = Marking::empty(num_places);
+        for p in marked {
+            m.set(p, true);
+        }
+        m
+    }
+
+    /// Number of places in the net this marking belongs to.
+    pub fn num_places(&self) -> usize {
+        self.num_places
+    }
+
+    /// Returns `true` if `place` carries a token.
+    #[inline]
+    pub fn is_marked(&self, place: PlaceId) -> bool {
+        let i = place.index();
+        assert!(i < self.num_places, "place index {i} out of range {}", self.num_places);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Sets or clears the token of `place`.
+    #[inline]
+    pub fn set(&mut self, place: PlaceId, marked: bool) {
+        let i = place.index();
+        assert!(i < self.num_places, "place index {i} out of range {}", self.num_places);
+        if marked {
+            self.words[i / 64] |= 1 << (i % 64);
+        } else {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Number of marked places.
+    pub fn token_count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the marked places in increasing index order.
+    pub fn marked_places(&self) -> impl Iterator<Item = PlaceId> + '_ {
+        (0..self.num_places).map(PlaceId::from).filter(move |&p| self.is_marked(p))
+    }
+
+    /// Converts the marking to a boolean vector indexed by place.
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.num_places).map(|i| self.is_marked(PlaceId::from(i))).collect()
+    }
+}
+
+impl fmt::Debug for Marking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.marked_places().map(|p| p.index())).finish()
+    }
+}
+
+impl fmt::Display for Marking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.marked_places().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "p{}", p.index())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_query() {
+        let mut m = Marking::empty(70);
+        assert_eq!(m.token_count(), 0);
+        m.set(PlaceId::from(0), true);
+        m.set(PlaceId::from(69), true);
+        assert!(m.is_marked(PlaceId::from(0)));
+        assert!(m.is_marked(PlaceId::from(69)));
+        assert!(!m.is_marked(PlaceId::from(5)));
+        assert_eq!(m.token_count(), 2);
+        m.set(PlaceId::from(0), false);
+        assert_eq!(m.token_count(), 1);
+    }
+
+    #[test]
+    fn from_places_and_iteration() {
+        let m = Marking::from_places(10, [PlaceId::from(3), PlaceId::from(7)]);
+        let marked: Vec<usize> = m.marked_places().map(|p| p.index()).collect();
+        assert_eq!(marked, vec![3, 7]);
+        assert_eq!(m.to_bools()[3], true);
+        assert_eq!(m.to_bools()[4], false);
+        assert_eq!(format!("{m}"), "{p3,p7}");
+    }
+
+    #[test]
+    fn equality_and_hashing_are_structural() {
+        use std::collections::HashSet;
+        let a = Marking::from_places(6, [PlaceId::from(1)]);
+        let b = Marking::from_places(6, [PlaceId::from(1)]);
+        let c = Marking::from_places(6, [PlaceId::from(2)]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+        assert!(!set.contains(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_place_panics() {
+        let m = Marking::empty(3);
+        m.is_marked(PlaceId::from(3));
+    }
+}

@@ -1,0 +1,230 @@
+//! Bricks: the building blocks of CSC insertion candidates.
+//!
+//! The DAC'96 paper constructs insertion blocks as unions of *bricks* rather
+//! than unions of individual states: "nice sets of states can be built very
+//! efficiently, from bricks (regions) rather than sand (states)" (§3).
+//! The brick set consists of
+//!
+//! 1. all minimal pre-/post-regions of every event,
+//! 2. all intersections of pre-regions of the same event and of post-regions
+//!    of the same event (Property 3.1, P3), and
+//! 3. the excitation regions of events that are persistent inside them
+//!    (Property 3.1, P2 — this is the only kind of candidate the ASSASSIN
+//!    baseline may use).
+
+use crate::minimal::{minimal_post_regions, minimal_pre_regions, RegionConfig};
+use std::collections::HashSet;
+use ts::{EventId, StateSet, TransitionSystem};
+
+/// Provenance of a brick, kept for cost-function diagnostics.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum BrickKind {
+    /// A minimal pre- or post-region of some event.
+    MinimalRegion,
+    /// A non-trivial intersection of pre-regions of the given event.
+    PreIntersection(EventId),
+    /// A non-trivial intersection of post-regions of the given event.
+    PostIntersection(EventId),
+    /// An excitation region of the given event (persistent inside it).
+    ExcitationRegion(EventId),
+}
+
+/// A candidate building block for insertion sets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Brick {
+    /// The states of the brick.
+    pub states: StateSet,
+    /// Where the brick came from.
+    pub kind: BrickKind,
+}
+
+/// Computes the brick set of a transition system.
+///
+/// Bricks are deduplicated by their state set (the first provenance wins)
+/// and never include the empty set or the full state space.
+pub fn bricks(ts: &TransitionSystem, config: &RegionConfig) -> Vec<Brick> {
+    let mut seen: HashSet<StateSet> = HashSet::new();
+    let mut result: Vec<Brick> = Vec::new();
+    let full = ts.num_states();
+
+    let push = |states: StateSet, kind: BrickKind, seen: &mut HashSet<StateSet>, out: &mut Vec<Brick>| {
+        if states.is_empty() || states.len() == full {
+            return;
+        }
+        if seen.insert(states.clone()) {
+            out.push(Brick { states, kind });
+        }
+    };
+
+    for e in 0..ts.num_events() {
+        let e = EventId::from(e);
+        let pres = minimal_pre_regions(ts, e, config);
+        let posts = minimal_post_regions(ts, e, config);
+
+        for r in &pres {
+            push(r.clone(), BrickKind::MinimalRegion, &mut seen, &mut result);
+        }
+        for r in &posts {
+            push(r.clone(), BrickKind::MinimalRegion, &mut seen, &mut result);
+        }
+        // Pairwise and cumulative intersections of same-event pre-regions.
+        push_intersections(&pres, BrickKind::PreIntersection(e), &mut |s, k| {
+            push(s, k, &mut seen, &mut result)
+        });
+        push_intersections(&posts, BrickKind::PostIntersection(e), &mut |s, k| {
+            push(s, k, &mut seen, &mut result)
+        });
+
+        // Excitation regions of events persistent inside them (P2).
+        for er in ts.excitation_regions(e) {
+            if ts.is_persistent_in(e, &er) {
+                push(er, BrickKind::ExcitationRegion(e), &mut seen, &mut result);
+            }
+        }
+    }
+    result
+}
+
+fn push_intersections(
+    regions: &[StateSet],
+    kind: BrickKind,
+    push: &mut impl FnMut(StateSet, BrickKind),
+) {
+    if regions.len() < 2 {
+        return;
+    }
+    // All pairwise intersections.
+    for i in 0..regions.len() {
+        for j in (i + 1)..regions.len() {
+            push(regions[i].intersection(&regions[j]), kind);
+        }
+    }
+    // The intersection of all of them (equals the excitation set when the
+    // system is excitation closed).
+    let mut all = regions[0].clone();
+    for r in &regions[1..] {
+        all.intersect_with(r);
+    }
+    push(all, kind);
+}
+
+/// Returns the bricks adjacent to `block`: bricks that share at least one
+/// state with `block` or are connected to it by a single transition in
+/// either direction.
+pub fn adjacent_bricks<'a>(
+    ts: &TransitionSystem,
+    block: &StateSet,
+    all: &'a [Brick],
+) -> Vec<&'a Brick> {
+    // Build the one-step neighbourhood of the block.
+    let mut neighbourhood = block.clone();
+    for s in block.iter() {
+        for &(_, t) in ts.successors(s) {
+            neighbourhood.insert(t);
+        }
+        for &(_, p) in ts.predecessors(s) {
+            neighbourhood.insert(p);
+        }
+    }
+    all.iter()
+        .filter(|brick| !brick.states.is_subset(block) && !brick.states.is_disjoint(&neighbourhood))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crossing::is_region;
+    use ts::{StateId, TransitionSystemBuilder};
+
+    fn fig1_ts() -> TransitionSystem {
+        let mut b = TransitionSystemBuilder::new();
+        let s: Vec<StateId> = (1..=7).map(|i| b.add_state(format!("s{i}"))).collect();
+        b.add_transition(s[0], "a", s[1]);
+        b.add_transition(s[0], "b", s[2]);
+        b.add_transition(s[1], "b", s[3]);
+        b.add_transition(s[2], "a", s[3]);
+        b.add_transition(s[3], "c", s[4]);
+        b.add_transition(s[4], "a", s[5]);
+        b.add_transition(s[4], "b", s[6]);
+        b.build(s[0]).unwrap()
+    }
+
+    #[test]
+    fn bricks_are_nonempty_proper_subsets() {
+        let ts = fig1_ts();
+        let all = bricks(&ts, &RegionConfig::default());
+        assert!(!all.is_empty());
+        for brick in &all {
+            assert!(!brick.states.is_empty());
+            assert!(brick.states.len() < ts.num_states());
+        }
+    }
+
+    #[test]
+    fn bricks_are_deduplicated() {
+        let ts = fig1_ts();
+        let all = bricks(&ts, &RegionConfig::default());
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                assert_ne!(all[i].states, all[j].states, "duplicate brick state sets");
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_region_bricks_are_regions() {
+        let ts = fig1_ts();
+        let all = bricks(&ts, &RegionConfig::default());
+        for brick in &all {
+            if brick.kind == BrickKind::MinimalRegion {
+                assert!(is_region(&ts, &brick.states));
+            }
+        }
+    }
+
+    #[test]
+    fn intersection_bricks_exist_for_multi_preregion_events() {
+        // c has several pre-regions in Fig. 1, so there must be at least one
+        // pre-intersection brick (the excitation set of c).
+        let ts = fig1_ts();
+        let all = bricks(&ts, &RegionConfig::default());
+        let c = ts.event_id("c").unwrap();
+        let has_c_intersection = all.iter().any(|b| b.kind == BrickKind::PreIntersection(c));
+        assert!(has_c_intersection);
+        // The full intersection equals ER(c) = {s4} because Fig. 1 is
+        // excitation closed.
+        let er_c = ts.excitation_set(c);
+        assert!(all.iter().any(|b| b.states == er_c));
+    }
+
+    #[test]
+    fn adjacency_excludes_contained_bricks() {
+        let ts = fig1_ts();
+        let all = bricks(&ts, &RegionConfig::default());
+        let block = all[0].states.clone();
+        for brick in adjacent_bricks(&ts, &block, &all) {
+            assert!(!brick.states.is_subset(&block));
+        }
+    }
+
+    #[test]
+    fn adjacency_of_a_singleton_touches_its_neighbours() {
+        let ts = fig1_ts();
+        let all = bricks(&ts, &RegionConfig::default());
+        let s4 = ts.state_id("s4").unwrap();
+        let block = StateSet::from_states(ts.num_states(), [s4]);
+        let adj = adjacent_bricks(&ts, &block, &all);
+        // s4's neighbourhood includes s2, s3 and s5, so any brick containing
+        // one of those (and not contained in {s4}) must be reported.
+        for brick in &all {
+            let touches = !brick.states.is_disjoint(&StateSet::from_states(
+                ts.num_states(),
+                ["s2", "s3", "s5", "s4"].iter().map(|n| ts.state_id(n).unwrap()),
+            ));
+            if touches && !brick.states.is_subset(&block) {
+                assert!(adj.iter().any(|b| b.states == brick.states));
+            }
+        }
+    }
+}

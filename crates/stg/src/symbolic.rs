@@ -1,0 +1,309 @@
+//! BDD-based symbolic state-space exploration.
+//!
+//! The DAC'96 paper attributes petrify's capacity to handle "extremely large
+//! state graphs" to the symbolic (OBDD) representation of the state graph.
+//! This module provides that engine: markings of the safe net are encoded
+//! with one BDD variable per place (plus, optionally, one variable per
+//! signal for the binary code), reachability is computed as a least
+//! fixpoint of per-transition image operators, and the CSC / USC properties
+//! are checked by projecting the reachable set onto the code variables.
+//!
+//! The symbolic engine is used by the Table 1 harness to count state spaces
+//! far beyond what explicit enumeration can touch (e.g. `4^16` markings for
+//! a 16-wide parallel composition) and to detect the presence of encoding
+//! conflicts without building the explicit graph.
+
+use crate::model::{Stg, TransitionLabel};
+use crate::signal::Polarity;
+use bdd::{Bdd, BddManager, VarId};
+use petri::TransId;
+
+/// A symbolically represented set of reachable markings.
+#[derive(Debug)]
+pub struct SymbolicStateSpace {
+    manager: BddManager,
+    reachable: Bdd,
+    num_places: usize,
+    num_signals: usize,
+    /// `true` when the fixpoint completed without hitting the iteration cap.
+    pub converged: bool,
+}
+
+impl Stg {
+    /// Computes the reachable markings symbolically (place variables only).
+    ///
+    /// `max_iterations` bounds the number of breadth-first image steps; the
+    /// default (`None`) allows `4 × places` steps, which is ample for the
+    /// benchmark suite.
+    pub fn symbolic_state_space(&self, max_iterations: Option<usize>) -> SymbolicStateSpace {
+        self.symbolic_space_inner(false, 0, max_iterations)
+    }
+
+    /// Computes the reachable (marking, code) pairs symbolically.
+    ///
+    /// Place variables come first, followed by one variable per signal.
+    /// `initial_code` gives the signal values in the initial marking (bit
+    /// `i` = signal `i`); the benchmark suite starts every signal at 0.
+    pub fn symbolic_encoded_state_space(
+        &self,
+        initial_code: u64,
+        max_iterations: Option<usize>,
+    ) -> SymbolicStateSpace {
+        self.symbolic_space_inner(true, initial_code, max_iterations)
+    }
+
+    fn symbolic_space_inner(
+        &self,
+        with_codes: bool,
+        initial_code: u64,
+        max_iterations: Option<usize>,
+    ) -> SymbolicStateSpace {
+        let net = self.net();
+        let num_places = net.num_places();
+        let num_signals = if with_codes { self.num_signals() } else { 0 };
+        let num_vars = num_places + num_signals;
+        let mut m = BddManager::new(num_vars.max(1));
+
+        // Initial state cube: the exact initial marking (and code).
+        let mut initial_lits: Vec<(VarId, bool)> = (0..num_places)
+            .map(|p| (p as VarId, net.initial_marking().is_marked(petri::PlaceId::from(p))))
+            .collect();
+        if with_codes {
+            for s in 0..num_signals {
+                initial_lits.push(((num_places + s) as VarId, initial_code & (1 << s) != 0));
+            }
+        }
+        let mut reachable = m.cube_of(&initial_lits);
+
+        // Precompute per-transition data.
+        struct TransImage {
+            enabled_places: Vec<VarId>,
+            cleared: Vec<VarId>,
+            set: Vec<VarId>,
+            signal_var: Option<(VarId, Polarity)>,
+        }
+        let images: Vec<TransImage> = (0..net.num_transitions())
+            .map(|t| {
+                let t_id = TransId::from(t);
+                let pre: Vec<VarId> = net.preset(t_id).iter().map(|p| p.index() as VarId).collect();
+                let post: Vec<VarId> = net.postset(t_id).iter().map(|p| p.index() as VarId).collect();
+                let cleared: Vec<VarId> =
+                    pre.iter().copied().filter(|v| !post.contains(v)).collect();
+                let set: Vec<VarId> = post.iter().copied().filter(|v| !pre.contains(v)).collect();
+                let signal_var = if with_codes {
+                    match self.label(t_id) {
+                        TransitionLabel::Edge { signal, polarity } => {
+                            Some(((num_places + signal.index()) as VarId, polarity))
+                        }
+                        TransitionLabel::Dummy => None,
+                    }
+                } else {
+                    None
+                };
+                TransImage { enabled_places: pre, cleared, set, signal_var }
+            })
+            .collect();
+
+        let limit = max_iterations.unwrap_or(4 * num_places.max(8));
+        let mut converged = false;
+        for _ in 0..limit {
+            let mut next = reachable;
+            for img in &images {
+                // States where the transition is enabled.
+                let enabled_lits: Vec<(VarId, bool)> =
+                    img.enabled_places.iter().map(|&v| (v, true)).collect();
+                let enabled_cube = m.cube_of(&enabled_lits);
+                let mut firing = m.and(reachable, enabled_cube);
+                if firing.is_false() {
+                    continue;
+                }
+                // Constrain / update the signal code bit.
+                if let Some((var, polarity)) = img.signal_var {
+                    match polarity {
+                        Polarity::Rise => {
+                            let lit = m.nvar(var);
+                            firing = m.and(firing, lit);
+                        }
+                        Polarity::Fall => {
+                            let lit = m.var(var);
+                            firing = m.and(firing, lit);
+                        }
+                        Polarity::Toggle => {}
+                    }
+                }
+                // Quantify away every variable the firing changes, then pin
+                // the new values.
+                let mut changed: Vec<VarId> = img.cleared.clone();
+                changed.extend(&img.set);
+                if let Some((var, polarity)) = img.signal_var {
+                    if polarity != Polarity::Toggle {
+                        changed.push(var);
+                    }
+                }
+                let mut successor = m.exists_many(firing, &changed);
+                let mut pinned: Vec<(VarId, bool)> = Vec::new();
+                pinned.extend(img.cleared.iter().map(|&v| (v, false)));
+                pinned.extend(img.set.iter().map(|&v| (v, true)));
+                if let Some((var, polarity)) = img.signal_var {
+                    match polarity {
+                        Polarity::Rise => pinned.push((var, true)),
+                        Polarity::Fall => pinned.push((var, false)),
+                        Polarity::Toggle => {}
+                    }
+                }
+                let pin_cube = m.cube_of(&pinned);
+                successor = m.and(successor, pin_cube);
+                next = m.or(next, successor);
+            }
+            if next == reachable {
+                converged = true;
+                break;
+            }
+            reachable = next;
+        }
+
+        SymbolicStateSpace { manager: m, reachable, num_places, num_signals, converged }
+    }
+}
+
+impl SymbolicStateSpace {
+    /// Number of reachable markings (or marking/code pairs), as an exact
+    /// count saturating at `u128::MAX`.
+    pub fn state_count(&self) -> u128 {
+        self.manager.sat_count(self.reachable)
+    }
+
+    /// Number of reachable markings as a float (robust beyond 128 places).
+    pub fn state_count_f64(&self) -> f64 {
+        self.manager.sat_count_f64(self.reachable)
+    }
+
+    /// Number of BDD nodes representing the reachable set — the compression
+    /// factor the paper relies on.
+    pub fn bdd_size(&self) -> usize {
+        self.manager.size(self.reachable)
+    }
+
+    /// Returns `true` if the given marking (as a vector of booleans indexed
+    /// by place, extended with signal values if the space is code-encoded)
+    /// is reachable.
+    pub fn contains(&self, assignment: &[bool]) -> bool {
+        self.manager.eval(self.reachable, assignment)
+    }
+
+    /// Number of place variables.
+    pub fn num_places(&self) -> usize {
+        self.num_places
+    }
+
+    /// Number of signal (code) variables, 0 for a places-only space.
+    pub fn num_signals(&self) -> usize {
+        self.num_signals
+    }
+}
+
+/// Symbolic encoding-property checks on a code-encoded state space.
+impl Stg {
+    /// Returns `true` if two distinct reachable markings share the same
+    /// binary code (Unique State Coding violated), determined symbolically.
+    pub fn symbolic_usc_violation(&self, initial_code: u64) -> bool {
+        let space = self.symbolic_encoded_state_space(initial_code, None);
+        let states = space.state_count_f64();
+        // Project onto the code variables: the number of distinct codes.
+        let mut m = space.manager;
+        let place_vars: Vec<VarId> = (0..space.num_places as VarId).collect();
+        let codes = m.exists_many(space.reachable, &place_vars);
+        let distinct_codes = m.sat_count_f64(codes) / 2f64.powi(space.num_places as i32);
+        states > distinct_codes + 0.5
+    }
+
+    /// Returns `true` if the STG has a CSC conflict, determined symbolically:
+    /// some code is shared by a state that enables a non-input signal and a
+    /// state that does not.
+    pub fn symbolic_csc_violation(&self, initial_code: u64) -> bool {
+        let space = self.symbolic_encoded_state_space(initial_code, None);
+        let mut m = space.manager;
+        let reachable = space.reachable;
+        let place_vars: Vec<VarId> = (0..space.num_places as VarId).collect();
+        for signal in self.non_input_signals() {
+            // Enabled(signal) as a function of places: some transition of the
+            // signal has all its input places marked.
+            let mut enabled = m.bottom();
+            for t in self.transitions_of_signal(signal) {
+                let lits: Vec<(VarId, bool)> =
+                    self.net().preset(t).iter().map(|p| (p.index() as VarId, true)).collect();
+                let cube = m.cube_of(&lits);
+                enabled = m.or(enabled, cube);
+            }
+            let with = m.and(reachable, enabled);
+            let without = m.and_not(reachable, enabled);
+            let codes_with = m.exists_many(with, &place_vars);
+            let codes_without = m.exists_many(without, &place_vars);
+            let clash = m.and(codes_with, codes_without);
+            if !clash.is_false() {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::benchmarks;
+
+    #[test]
+    fn symbolic_and_explicit_state_counts_agree() {
+        for stg in [
+            benchmarks::handshake(),
+            benchmarks::pulser(),
+            benchmarks::vme_read(),
+            benchmarks::parallel_handshakes(3),
+            benchmarks::parallelizer(4),
+        ] {
+            let explicit = stg.state_graph(1_000_000).unwrap().num_states() as u128;
+            let space = stg.symbolic_state_space(None);
+            assert!(space.converged, "{} did not converge", stg.name());
+            assert_eq!(space.state_count(), explicit, "mismatch for {}", stg.name());
+        }
+    }
+
+    #[test]
+    fn symbolic_counts_scale_beyond_explicit_limits() {
+        // 4^12 ≈ 16.7 million markings: cheap symbolically, expensive
+        // explicitly.
+        let stg = benchmarks::parallel_handshakes(12);
+        let space = stg.symbolic_state_space(None);
+        assert!(space.converged);
+        assert_eq!(space.state_count(), 4u128.pow(12));
+        assert!(space.bdd_size() < 10_000, "BDD must stay compact");
+    }
+
+    #[test]
+    fn encoded_space_matches_state_graph() {
+        let stg = benchmarks::pulser();
+        let space = stg.symbolic_encoded_state_space(0, None);
+        assert!(space.converged);
+        // Each of the 6 markings has exactly one code, so the encoded space
+        // also has 6 states.
+        assert_eq!(space.state_count(), 6);
+    }
+
+    #[test]
+    fn symbolic_usc_and_csc_checks() {
+        assert!(!benchmarks::handshake().symbolic_usc_violation(0));
+        assert!(!benchmarks::handshake().symbolic_csc_violation(0));
+        assert!(benchmarks::pulser().symbolic_usc_violation(0));
+        assert!(benchmarks::pulser().symbolic_csc_violation(0));
+        assert!(benchmarks::vme_read().symbolic_csc_violation(0));
+        assert!(!benchmarks::parallelizer(3).symbolic_csc_violation(0));
+    }
+
+    #[test]
+    fn initial_marking_is_reachable() {
+        let stg = benchmarks::vme_read();
+        let space = stg.symbolic_state_space(None);
+        let assignment = stg.net().initial_marking().to_bools();
+        assert!(space.contains(&assignment));
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for transition-system construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or transforming a transition system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TsError {
+    /// The system has no states.
+    EmptySystem,
+    /// A state index referenced by a transition or the initial state does not
+    /// exist.
+    UnknownState {
+        /// The offending index.
+        index: usize,
+        /// Number of states actually present.
+        num_states: usize,
+    },
+    /// An event label was empty.
+    EmptyEventName,
+    /// An insertion set was empty or covered the whole state space, so no
+    /// meaningful event insertion is possible.
+    DegenerateInsertionSet,
+}
+
+impl fmt::Display for TsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsError::EmptySystem => write!(f, "transition system has no states"),
+            TsError::UnknownState { index, num_states } => write!(
+                f,
+                "state index {index} out of range for a system with {num_states} states"
+            ),
+            TsError::EmptyEventName => write!(f, "event label must not be empty"),
+            TsError::DegenerateInsertionSet => {
+                write!(f, "insertion set must be a non-empty strict subset of the states")
+            }
+        }
+    }
+}
+
+impl Error for TsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let msg = TsError::UnknownState { index: 9, num_states: 3 }.to_string();
+        assert!(msg.contains("9"));
+        assert!(msg.contains("3"));
+        assert_eq!(TsError::EmptySystem.to_string(), "transition system has no states");
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let err: Box<dyn Error> = Box::new(TsError::EmptyEventName);
+        assert!(err.to_string().contains("event label"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Index newtypes for states and events.
+
+use std::fmt;
+
+/// Identifier of a state inside a [`crate::TransitionSystem`].
+///
+/// State ids are dense indices in `0..num_states`; they are only meaningful
+/// relative to the transition system that produced them.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct StateId(pub u32);
+
+/// Identifier of an event (arc label) inside a [`crate::TransitionSystem`].
+///
+/// Event ids are dense indices in `0..num_events`.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EventId(pub u32);
+
+impl StateId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EventId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for StateId {
+    fn from(value: usize) -> Self {
+        StateId(value as u32)
+    }
+}
+
+impl From<usize> for EventId {
+    fn from(value: usize) -> Self {
+        EventId(value as u32)
+    }
+}
+
+impl fmt::Debug for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Debug for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_id_roundtrip() {
+        let s = StateId::from(42usize);
+        assert_eq!(s.index(), 42);
+        assert_eq!(format!("{s}"), "s42");
+        assert_eq!(format!("{s:?}"), "s42");
+    }
+
+    #[test]
+    fn event_id_roundtrip() {
+        let e = EventId::from(7usize);
+        assert_eq!(e.index(), 7);
+        assert_eq!(format!("{e}"), "e7");
+        assert_eq!(format!("{e:?}"), "e7");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(StateId(1) < StateId(2));
+        assert!(EventId(0) < EventId(9));
+    }
+}

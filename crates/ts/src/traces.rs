@@ -1,0 +1,280 @@
+//! Trace-equivalence utilities.
+//!
+//! State-signal insertion must not change the observable behaviour of the
+//! specification: hiding the inserted events, the old and new transition
+//! systems must accept exactly the same traces (paper §1, requirement (1)).
+//! This module implements an exact check based on the subset construction:
+//! both systems are determinised on the fly with the hidden events treated
+//! as silent, and the product is explored until a mismatch in the enabled
+//! observable labels is found.
+
+use crate::{EventId, StateId, StateSet, TransitionSystem};
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+/// A macro-state of the subset construction: a set of states closed under
+/// silent transitions.
+type Macro = BTreeSet<StateId>;
+
+fn silent_closure(ts: &TransitionSystem, seed: &Macro, hidden: &[EventId]) -> Macro {
+    let mut closure = seed.clone();
+    let mut queue: VecDeque<StateId> = seed.iter().copied().collect();
+    while let Some(s) = queue.pop_front() {
+        for &(e, t) in ts.successors(s) {
+            if hidden.contains(&e) && closure.insert(t) {
+                queue.push_back(t);
+            }
+        }
+    }
+    closure
+}
+
+fn observable_step(
+    ts: &TransitionSystem,
+    current: &Macro,
+    label: &str,
+    hidden: &[EventId],
+) -> Macro {
+    let mut next = Macro::new();
+    for &s in current {
+        for &(e, t) in ts.successors(s) {
+            if !hidden.contains(&e) && ts.event_name(e) == label {
+                next.insert(t);
+            }
+        }
+    }
+    silent_closure(ts, &next, hidden)
+}
+
+fn observable_labels(ts: &TransitionSystem, current: &Macro, hidden: &[EventId]) -> BTreeSet<String> {
+    let mut labels = BTreeSet::new();
+    for &s in current {
+        for &(e, _) in ts.successors(s) {
+            if !hidden.contains(&e) {
+                labels.insert(ts.event_name(e).to_owned());
+            }
+        }
+    }
+    labels
+}
+
+fn hidden_ids(ts: &TransitionSystem, hidden_labels: &[&str]) -> Vec<EventId> {
+    hidden_labels.iter().filter_map(|l| ts.event_id(l)).collect()
+}
+
+/// Checks whether `left` and `right` have the same observable traces after
+/// hiding the events whose labels appear in `hidden_labels`.
+///
+/// Events are matched across the two systems *by label*.  The check is exact
+/// (it explores the determinised product), so it is intended for
+/// specification-sized systems — validating insertions, unit tests and the
+/// CSC walkthrough examples — not for the huge benchmark state graphs.
+///
+/// # Example
+///
+/// ```
+/// use ts::{TransitionSystemBuilder, traces::projected_trace_equivalent};
+///
+/// let mut b = TransitionSystemBuilder::new();
+/// let p = b.add_state("p");
+/// let q = b.add_state("q");
+/// b.add_transition(p, "a", q);
+/// let left = b.build(p)?;
+///
+/// let mut b = TransitionSystemBuilder::new();
+/// let p = b.add_state("p");
+/// let m = b.add_state("m");
+/// let q = b.add_state("q");
+/// b.add_transition(p, "tau", m);
+/// b.add_transition(m, "a", q);
+/// let right = b.build(p)?;
+///
+/// assert!(projected_trace_equivalent(&left, &right, &["tau"]));
+/// # Ok::<(), ts::TsError>(())
+/// ```
+pub fn projected_trace_equivalent(
+    left: &TransitionSystem,
+    right: &TransitionSystem,
+    hidden_labels: &[&str],
+) -> bool {
+    trace_inclusion_witness(left, right, hidden_labels).is_none()
+        && trace_inclusion_witness(right, left, hidden_labels).is_none()
+}
+
+/// Returns a trace accepted by `left` (after hiding) that `right` cannot
+/// perform, or `None` if every observable trace of `left` is also a trace of
+/// `right`.
+pub fn trace_inclusion_witness(
+    left: &TransitionSystem,
+    right: &TransitionSystem,
+    hidden_labels: &[&str],
+) -> Option<Vec<String>> {
+    let hidden_left = hidden_ids(left, hidden_labels);
+    let hidden_right = hidden_ids(right, hidden_labels);
+
+    let start_left = silent_closure(left, &Macro::from([left.initial()]), &hidden_left);
+    let start_right = silent_closure(right, &Macro::from([right.initial()]), &hidden_right);
+
+    let mut visited: HashSet<(Macro, Macro)> = HashSet::new();
+    let mut queue: VecDeque<(Macro, Macro, Vec<String>)> = VecDeque::new();
+    visited.insert((start_left.clone(), start_right.clone()));
+    queue.push_back((start_left, start_right, Vec::new()));
+
+    while let Some((ml, mr, trace)) = queue.pop_front() {
+        let labels_left = observable_labels(left, &ml, &hidden_left);
+        for label in labels_left {
+            let next_left = observable_step(left, &ml, &label, &hidden_left);
+            let next_right = observable_step(right, &mr, &label, &hidden_right);
+            let mut next_trace = trace.clone();
+            next_trace.push(label);
+            if next_right.is_empty() {
+                return Some(next_trace);
+            }
+            let key = (next_left.clone(), next_right.clone());
+            if visited.insert(key) {
+                queue.push_back((next_left, next_right, next_trace));
+            }
+        }
+    }
+    None
+}
+
+/// Enumerates every observable trace of `ts` up to length `depth`, hiding
+/// the given labels.  Intended for small systems and tests.
+pub fn traces_up_to(ts: &TransitionSystem, depth: usize, hidden_labels: &[&str]) -> BTreeSet<Vec<String>> {
+    let hidden = hidden_ids(ts, hidden_labels);
+    let mut result = BTreeSet::new();
+    result.insert(Vec::new());
+    let start = silent_closure(ts, &Macro::from([ts.initial()]), &hidden);
+    let mut frontier: Vec<(Macro, Vec<String>)> = vec![(start, Vec::new())];
+    for _ in 0..depth {
+        let mut next_frontier = Vec::new();
+        for (m, trace) in frontier {
+            for label in observable_labels(ts, &m, &hidden) {
+                let next = observable_step(ts, &m, &label, &hidden);
+                let mut t = trace.clone();
+                t.push(label);
+                result.insert(t.clone());
+                next_frontier.push((next, t));
+            }
+        }
+        frontier = next_frontier;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    result
+}
+
+/// Returns the set of states of `ts` that can be reached by some trace whose
+/// observable projection equals `trace`.
+pub fn states_after_trace(
+    ts: &TransitionSystem,
+    trace: &[&str],
+    hidden_labels: &[&str],
+) -> StateSet {
+    let hidden = hidden_ids(ts, hidden_labels);
+    let mut current = silent_closure(ts, &Macro::from([ts.initial()]), &hidden);
+    for label in trace {
+        current = observable_step(ts, &current, label, &hidden);
+    }
+    StateSet::from_states(ts.num_states(), current.iter().copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TransitionSystemBuilder;
+
+    fn ab_then_c() -> TransitionSystem {
+        let mut b = TransitionSystemBuilder::new();
+        let s0 = b.add_state("s0");
+        let sa = b.add_state("sa");
+        let sb = b.add_state("sb");
+        let s1 = b.add_state("s1");
+        let s2 = b.add_state("s2");
+        b.add_transition(s0, "a", sa);
+        b.add_transition(s0, "b", sb);
+        b.add_transition(sa, "b", s1);
+        b.add_transition(sb, "a", s1);
+        b.add_transition(s1, "c", s2);
+        b.build(s0).unwrap()
+    }
+
+    fn ab_then_c_with_tau() -> TransitionSystem {
+        let mut b = TransitionSystemBuilder::new();
+        let s0 = b.add_state("t0");
+        let sa = b.add_state("ta");
+        let sa2 = b.add_state("ta2");
+        let sb = b.add_state("tb");
+        let s1 = b.add_state("t1");
+        let s2 = b.add_state("t2");
+        b.add_transition(s0, "a", sa);
+        b.add_transition(sa, "tau", sa2);
+        b.add_transition(s0, "b", sb);
+        b.add_transition(sa2, "b", s1);
+        b.add_transition(sb, "a", s1);
+        b.add_transition(s1, "c", s2);
+        b.build(s0).unwrap()
+    }
+
+    #[test]
+    fn equivalence_modulo_hidden_event() {
+        let plain = ab_then_c();
+        let with_tau = ab_then_c_with_tau();
+        assert!(projected_trace_equivalent(&plain, &with_tau, &["tau"]));
+        // Without hiding tau the traces differ.
+        assert!(!projected_trace_equivalent(&plain, &with_tau, &[]));
+    }
+
+    #[test]
+    fn inclusion_witness_reports_a_missing_trace() {
+        let plain = ab_then_c();
+        let mut b = TransitionSystemBuilder::new();
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        b.add_transition(s0, "a", s1);
+        let only_a = b.build(s0).unwrap();
+        let witness = trace_inclusion_witness(&plain, &only_a, &[]).unwrap();
+        assert!(witness == vec!["b".to_string()] || witness == vec!["a".to_string(), "b".to_string()]);
+        assert!(trace_inclusion_witness(&only_a, &plain, &[]).is_none());
+    }
+
+    #[test]
+    fn traces_up_to_enumerates_interleavings() {
+        let plain = ab_then_c();
+        let traces = traces_up_to(&plain, 3, &[]);
+        assert!(traces.contains(&vec!["a".to_string(), "b".to_string(), "c".to_string()]));
+        assert!(traces.contains(&vec!["b".to_string(), "a".to_string(), "c".to_string()]));
+        assert!(traces.contains(&Vec::new()));
+        assert!(!traces.contains(&vec!["c".to_string()]));
+    }
+
+    #[test]
+    fn states_after_trace_tracks_hidden_moves() {
+        let with_tau = ab_then_c_with_tau();
+        let after_a = states_after_trace(&with_tau, &["a"], &["tau"]);
+        // After "a" (hiding tau) we may be in ta or ta2.
+        assert_eq!(after_a.len(), 2);
+        let after_ab = states_after_trace(&with_tau, &["a", "b"], &["tau"]);
+        assert_eq!(after_ab.len(), 1);
+        assert!(after_ab.contains(with_tau.state_id("t1").unwrap()));
+    }
+
+    #[test]
+    fn cyclic_systems_terminate() {
+        let mut b = TransitionSystemBuilder::new();
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        b.add_transition(s0, "a", s1);
+        b.add_transition(s1, "b", s0);
+        let cycle = b.build(s0).unwrap();
+        assert!(projected_trace_equivalent(&cycle, &cycle, &[]));
+        let traces = traces_up_to(&cycle, 4, &[]);
+        assert!(traces.contains(&vec![
+            "a".to_string(),
+            "b".to_string(),
+            "a".to_string(),
+            "b".to_string()
+        ]));
+    }
+}

@@ -1,0 +1,38 @@
+//! Sweep the benchmark suite with the region-based solver and the
+//! excitation-region baseline, printing a Table-2-style comparison.
+//!
+//! Run with `cargo run -p synthkit --release --example benchmark_sweep`.
+
+use synthkit::{render_table, run_flow, FlowOptions};
+
+fn main() {
+    let suite = stg::benchmarks::table2_suite();
+
+    println!("== region-based method (the paper) ==");
+    let mut region_reports = Vec::new();
+    for (name, model, _) in &suite {
+        match run_flow(model, &FlowOptions::default()) {
+            Ok(report) => region_reports.push(report),
+            Err(e) => println!("{name:<18} failed: {e}"),
+        }
+    }
+    println!("{}", render_table(&region_reports));
+
+    println!("== excitation-region baseline (ASSASSIN-style) ==");
+    let mut baseline_reports = Vec::new();
+    for (name, model, _) in &suite {
+        match run_flow(model, &FlowOptions::baseline()) {
+            Ok(report) => baseline_reports.push(report),
+            Err(e) => println!("{name:<18} failed: {e}"),
+        }
+    }
+    println!("{}", render_table(&baseline_reports));
+
+    let solved_region = region_reports.iter().filter(|r| r.csc_satisfied).count();
+    let solved_baseline = baseline_reports.iter().filter(|r| r.csc_satisfied).count();
+    println!(
+        "summary: region-based solved {solved_region}/{} models, baseline solved {solved_baseline}/{}",
+        suite.len(),
+        suite.len()
+    );
+}

@@ -1,0 +1,103 @@
+//! End-to-end integration tests: STG → state graph → CSC resolution →
+//! verification → logic derivation, across the whole benchmark suite.
+
+use csc::{solve_stg, verify_solution, CandidateSource, SolverConfig};
+use logic::{estimate_area, output_persistency_violations};
+use synthkit::{run_flow, FlowOptions};
+
+#[test]
+fn every_table2_benchmark_is_solved_and_verified() {
+    let config = SolverConfig::default();
+    for (name, model, csc_holds) in stg::benchmarks::table2_suite() {
+        let sg = model.state_graph(500_000).expect(name);
+        let solution = solve_stg(&model, &config).unwrap_or_else(|e| panic!("{name}: {e}"));
+        if csc_holds {
+            assert!(solution.inserted_signals.is_empty(), "{name} needs no insertion");
+        } else {
+            assert!(!solution.inserted_signals.is_empty(), "{name} must need insertions");
+        }
+        assert!(solution.graph.complete_state_coding_holds(), "{name}");
+        let problems = verify_solution(&sg, &solution);
+        assert!(problems.is_empty(), "{name}: {problems:?}");
+    }
+}
+
+#[test]
+fn solved_benchmarks_have_implementable_logic() {
+    let config = SolverConfig::default();
+    for (name, model, _) in stg::benchmarks::table2_suite() {
+        let solution = solve_stg(&model, &config).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let area = estimate_area(&solution.graph).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(area.total_literals > 0, "{name} must have some logic");
+        assert!(
+            output_persistency_violations(&solution.graph).is_empty(),
+            "{name} lost output persistency"
+        );
+    }
+}
+
+#[test]
+fn region_method_never_does_worse_than_baseline_on_solved_models() {
+    // The comparison axis of Table 2: the region-based method explores a
+    // larger candidate space, so whenever the ER-only baseline solves a
+    // model the region-based method must solve it too (the converse need not
+    // hold).
+    for (name, model, _) in stg::benchmarks::table2_suite() {
+        let baseline = solve_stg(&model, &SolverConfig::excitation_region_baseline());
+        let region = solve_stg(&model, &SolverConfig::default());
+        if baseline.is_ok() {
+            assert!(region.is_ok(), "{name}: baseline solved but the region method failed");
+        }
+        assert!(region.is_ok(), "{name}: region-based method must always succeed");
+    }
+}
+
+#[test]
+fn flow_reports_are_consistent_with_the_solver() {
+    let report = run_flow(&stg::benchmarks::vme_read(), &FlowOptions::default()).unwrap();
+    assert!(report.csc_satisfied);
+    assert_eq!(report.signals, 5);
+    assert!(report.final_states >= report.states);
+    assert!(report.literals.unwrap() > 0);
+    assert!(report.cpu_seconds >= 0.0);
+}
+
+#[test]
+fn frontier_width_one_still_solves_the_core_benchmarks() {
+    let config = SolverConfig { frontier_width: 1, ..SolverConfig::default() };
+    for model in [stg::benchmarks::pulser(), stg::benchmarks::vme_read()] {
+        let solution = solve_stg(&model, &config).unwrap();
+        assert!(solution.graph.complete_state_coding_holds());
+    }
+}
+
+#[test]
+fn candidate_source_is_honoured() {
+    let config = SolverConfig {
+        candidate_source: CandidateSource::ExcitationRegions,
+        ..SolverConfig::default()
+    };
+    // The baseline either solves the pulser or reports a structured error;
+    // it must not panic and must not silently return an unsolved graph.
+    match solve_stg(&stg::benchmarks::pulser(), &config) {
+        Ok(solution) => assert!(solution.graph.complete_state_coding_holds()),
+        Err(e) => {
+            let text = e.to_string();
+            assert!(!text.is_empty());
+        }
+    }
+}
+
+#[test]
+fn scalable_generators_compose_with_the_solver() {
+    let config = SolverConfig::default();
+    for n in [2, 3] {
+        let model = stg::benchmarks::pulser_bank(n);
+        let solution = solve_stg(&model, &config).unwrap();
+        assert!(solution.graph.complete_state_coding_holds(), "pulser_bank({n})");
+        assert!(
+            solution.inserted_signals.len() >= n,
+            "each of the {n} banks needs at least one state signal"
+        );
+    }
+}
