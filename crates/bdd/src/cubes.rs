@@ -21,11 +21,7 @@ impl Cube {
 
     /// The fixed literals of the cube as `(var, value)` pairs.
     pub fn literals(&self) -> Vec<(VarId, bool)> {
-        self.values
-            .iter()
-            .enumerate()
-            .filter_map(|(i, v)| v.map(|b| (i as VarId, b)))
-            .collect()
+        self.values.iter().enumerate().filter_map(|(i, v)| v.map(|b| (i as VarId, b))).collect()
     }
 
     /// Number of assignments covered by this cube, given the total number of
@@ -38,9 +34,7 @@ impl Cube {
     /// Full assignments covered by the cube with don't-cares expanded to
     /// `false`.
     pub fn to_assignment(&self, num_vars: usize) -> Vec<bool> {
-        (0..num_vars)
-            .map(|i| self.values.get(i).copied().flatten().unwrap_or(false))
-            .collect()
+        (0..num_vars).map(|i| self.values.get(i).copied().flatten().unwrap_or(false)).collect()
     }
 }
 
@@ -55,11 +49,7 @@ impl<'a> CubeIter<'a> {
     /// Creates an iterator over the cubes of `f`.
     pub fn new(manager: &'a BddManager, f: Bdd) -> Self {
         let num_vars = manager.num_vars();
-        CubeIter {
-            manager,
-            num_vars,
-            stack: vec![(f.node_id(), vec![None; num_vars])],
-        }
+        CubeIter { manager, num_vars, stack: vec![(f.node_id(), vec![None; num_vars])] }
     }
 }
 

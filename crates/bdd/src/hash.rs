@@ -1,0 +1,133 @@
+//! Fast non-cryptographic hashing for node-index keys.
+//!
+//! `std`'s default hasher (SipHash 1-3) is keyed and DoS-resistant, which is
+//! wasted work for interning BDD nodes: the keys are small fixed-width
+//! integers produced by the package itself, and hashing sits directly on the
+//! `mk`/`apply` hot path.  This module implements the FxHash construction
+//! (the multiply-xor fold used by rustc) in-crate so the workspace stays
+//! std-only, plus `HashMap`/`HashSet` aliases for the cold-path memo tables
+//! that still want a real map.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The FxHash multiplier (a 64-bit truncation of π's golden-ratio cousin
+/// used by Firefox and rustc).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Folds one word into a running FxHash state.
+#[inline]
+pub fn fx_combine(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(5) ^ word).wrapping_mul(SEED)
+}
+
+/// Hashes a short sequence of words (convenience over [`fx_combine`]).
+#[inline]
+pub fn fx_hash_words(words: &[u64]) -> u64 {
+    words.iter().fold(0, |h, &w| fx_combine(h, w))
+}
+
+/// A [`Hasher`] implementing the FxHash word fold.
+///
+/// Not DoS-resistant — only use for keys the program generates itself.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.hash = fx_combine(self.hash, u64::from_ne_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.hash = fx_combine(self.hash, u64::from_ne_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.hash = fx_combine(self.hash, n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.hash = fx_combine(self.hash, n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.hash = fx_combine(self.hash, n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.hash = fx_combine(self.hash, n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.hash = fx_combine(self.hash, n as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hasher_is_deterministic_and_spreads_small_keys() {
+        let hash_of = |n: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(n);
+            h.finish()
+        };
+        assert_eq!(hash_of(42), hash_of(42));
+        // Consecutive small integers must land in different low bits, since
+        // the unique table masks the hash down to a table index.
+        let low_bits: std::collections::HashSet<u64> = (0..64).map(|n| hash_of(n) & 0x3f).collect();
+        assert!(low_bits.len() > 32, "low bits too clustered: {}", low_bits.len());
+    }
+
+    #[test]
+    fn write_handles_unaligned_tails() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 0, 0, 0, 0, 0]);
+        // Same padded word, same fold.
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(&[3, 2, 1]);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn fx_map_roundtrips() {
+        let mut map: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            map.insert((i, i * 2), i);
+        }
+        assert_eq!(map.len(), 1000);
+        assert_eq!(map.get(&(500, 1000)), Some(&500));
+    }
+}

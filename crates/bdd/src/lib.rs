@@ -35,9 +35,11 @@
 #![warn(missing_docs)]
 
 mod cubes;
+pub mod hash;
 mod manager;
 mod node;
 
 pub use cubes::{Cube, CubeIter};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use manager::{Bdd, BddManager};
 pub use node::{NodeId, VarId};

@@ -1,7 +1,45 @@
-//! The BDD manager: hash-consed node store and Boolean operations.
+//! The BDD manager: arena node store, interning index and operation cache.
+//!
+//! # Architecture
+//!
+//! The manager is built for the symbolic-reachability workloads of the
+//! DAC'96 flow, where millions of `mk`/`apply` calls dominate the runtime.
+//! Three structures cooperate:
+//!
+//! * **Node arena** — all nodes live in one contiguous `Vec<Node>`; a
+//!   [`NodeId`] is an index into it.  Nodes are never removed or mutated, so
+//!   ids stay valid for the life of the manager.  Slots 0 and 1 hold the
+//!   `false`/`true` terminals, represented with the sentinel variable
+//!   [`TERMINAL_VAR`] so that variable comparisons place them below every
+//!   decision level without branching.
+//! * **Unique table** — an open-addressed index (linear probing, FxHash,
+//!   power-of-two capacity, ≤ 75 % load) storing only `u32` node ids; key
+//!   comparisons read the `(var, low, high)` triple straight from the arena.
+//!   This is what makes hash-consing canonical: `mk` returns an existing id
+//!   whenever the triple is already interned.
+//! * **Apply cache** — a bounded direct-mapped memo table keyed by
+//!   `(Op, NodeId, NodeId)` (negation uses `Op::Not` with both operands
+//!   equal).  Entries carry a generation tag: [`BddManager::clear_caches`]
+//!   invalidates every entry in O(1) by bumping the generation, and the
+//!   cache is re-sized (which also clears it) when the arena outgrows it.
+//!   Collisions simply overwrite — stale results are only ever *missed*,
+//!   never returned, because the full key is stored and compared.
+//!
+//! # Invariants
+//!
+//! 1. Canonicity: for every interned `(var, low, high)` with `low != high`
+//!    there is exactly one id, so `Bdd` equality is function equality.
+//! 2. Ordering: children of a node have strictly larger variable indices
+//!    (terminals report [`TERMINAL_VAR`], the maximum).  Checked by debug
+//!    assertions in `mk`.
+//! 3. Terminal representation: arena slots 0/1 are the only nodes with
+//!    `var == TERMINAL_VAR`, and they are never looked up through the
+//!    unique table.
+//! 4. Cache soundness: a hit `(op, f, g) → r` is only returned while `r`'s
+//!    interning is still live, which is always, since nodes are never freed.
 
-use crate::node::{Node, NodeId, VarId};
-use std::collections::HashMap;
+use crate::hash::{fx_combine, FxHashMap, FxHashSet};
+use crate::node::{Node, NodeId, VarId, TERMINAL_VAR};
 use std::fmt;
 
 /// A handle to a Boolean function stored in a [`BddManager`].
@@ -35,38 +73,235 @@ impl fmt::Debug for Bdd {
     }
 }
 
-#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+#[derive(Copy, Clone, PartialEq, Eq)]
+#[repr(u8)]
 enum Op {
-    And,
-    Or,
-    Xor,
+    And = 0,
+    Or = 1,
+    Xor = 2,
+    Not = 3,
 }
 
-/// Owner of all BDD nodes, the unique table and the operation caches.
+/// Sentinel for an empty unique-table slot (no node can have this id: the
+/// arena is capped far below `u32::MAX` entries in practice, and the table
+/// never stores terminals).
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// Open-addressed interning index over the node arena.
+///
+/// Stores bare node ids; the key of slot `s` is the `(var, low, high)`
+/// triple of `arena[slots[s]]`.  Linear probing over a power-of-two table
+/// kept at most 3/4 full.
+struct UniqueTable {
+    slots: Vec<u32>,
+    len: usize,
+}
+
+impl UniqueTable {
+    fn with_node_capacity(nodes: usize) -> Self {
+        let slots = (nodes.max(16) * 2).next_power_of_two();
+        UniqueTable { slots: vec![EMPTY_SLOT; slots], len: 0 }
+    }
+
+    #[inline]
+    fn hash(node: &Node) -> u64 {
+        fx_combine(fx_combine(node.var as u64, node.low.0 as u64), node.high.0 as u64)
+    }
+
+    /// Returns the interned id of `node`, inserting it into `arena` if new.
+    #[inline]
+    fn intern(&mut self, arena: &mut Vec<Node>, node: Node) -> NodeId {
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow(arena);
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (Self::hash(&node) as usize) & mask;
+        loop {
+            match self.slots[i] {
+                EMPTY_SLOT => {
+                    // Hard assert even in release: past u32::MAX ids the new
+                    // id would collide with EMPTY_SLOT and silently break
+                    // canonicity.  This is the cold (new-node) path, so the
+                    // check costs nothing.
+                    assert!(
+                        arena.len() < EMPTY_SLOT as usize,
+                        "node arena overflow (2^32-1 nodes)"
+                    );
+                    let id = NodeId(arena.len() as u32);
+                    arena.push(node);
+                    self.slots[i] = id.0;
+                    self.len += 1;
+                    return id;
+                }
+                raw => {
+                    if arena[raw as usize] == node {
+                        return NodeId(raw);
+                    }
+                    i = (i + 1) & mask;
+                }
+            }
+        }
+    }
+
+    /// Doubles the table and re-inserts every interned id.
+    fn grow(&mut self, arena: &[Node]) {
+        self.resize_to(self.slots.len() * 2, arena);
+    }
+
+    /// Ensures the table can absorb `nodes` interned nodes without growing.
+    fn reserve_for(&mut self, nodes: usize, arena: &[Node]) {
+        let wanted = (nodes.max(16) * 2).next_power_of_two();
+        if wanted > self.slots.len() {
+            self.resize_to(wanted, arena);
+        }
+    }
+
+    fn resize_to(&mut self, new_slots: usize, arena: &[Node]) {
+        let mask = new_slots - 1;
+        let mut slots = vec![EMPTY_SLOT; new_slots];
+        for &raw in self.slots.iter().filter(|&&raw| raw != EMPTY_SLOT) {
+            let mut i = (Self::hash(&arena[raw as usize]) as usize) & mask;
+            while slots[i] != EMPTY_SLOT {
+                i = (i + 1) & mask;
+            }
+            slots[i] = raw;
+        }
+        self.slots = slots;
+    }
+}
+
+#[derive(Copy, Clone)]
+struct CacheEntry {
+    a: u32,
+    b: u32,
+    result: u32,
+    op: u8,
+    generation: u32,
+}
+
+const EMPTY_ENTRY: CacheEntry = CacheEntry { a: 0, b: 0, result: 0, op: 0, generation: 0 };
+
+/// Bounded direct-mapped memo table for `apply`/`not` results.
+///
+/// The live generation starts at 1 and empty entries carry generation 0, so
+/// a fresh table never produces hits.  `clear` bumps the generation instead
+/// of touching the entries; `resize` reallocates (implicitly clearing).
+struct ApplyCache {
+    entries: Vec<CacheEntry>,
+    generation: u32,
+}
+
+/// Initial apply-cache size (entries; must be a power of two).
+const APPLY_CACHE_MIN: usize = 1 << 12;
+/// Apply-cache growth stops here: bounded memory even on huge state spaces.
+const APPLY_CACHE_MAX: usize = 1 << 20;
+
+impl ApplyCache {
+    fn new(entries: usize) -> Self {
+        debug_assert!(entries.is_power_of_two());
+        ApplyCache { entries: vec![EMPTY_ENTRY; entries], generation: 1 }
+    }
+
+    #[inline]
+    fn slot(&self, op: Op, a: NodeId, b: NodeId) -> usize {
+        let h = fx_combine(fx_combine(op as u64, a.0 as u64), b.0 as u64);
+        (h as usize) & (self.entries.len() - 1)
+    }
+
+    #[inline]
+    fn lookup(&self, op: Op, a: NodeId, b: NodeId) -> Option<NodeId> {
+        let e = &self.entries[self.slot(op, a, b)];
+        (e.generation == self.generation && e.op == op as u8 && e.a == a.0 && e.b == b.0)
+            .then_some(NodeId(e.result))
+    }
+
+    #[inline]
+    fn store(&mut self, op: Op, a: NodeId, b: NodeId, result: NodeId) {
+        let slot = self.slot(op, a, b);
+        self.entries[slot] = CacheEntry {
+            a: a.0,
+            b: b.0,
+            result: result.0,
+            op: op as u8,
+            generation: self.generation,
+        };
+    }
+
+    /// O(1) invalidation of every entry.
+    fn clear(&mut self) {
+        self.generation = match self.generation.checked_add(1) {
+            Some(g) => g,
+            None => {
+                // Generation wrap: physically reset so stale tags can't match.
+                self.entries.fill(EMPTY_ENTRY);
+                1
+            }
+        };
+    }
+
+    /// Grows (and thereby clears) the cache while the arena outpaces it.
+    fn grow_for(&mut self, nodes: usize) {
+        let wanted = nodes.next_power_of_two().clamp(APPLY_CACHE_MIN, APPLY_CACHE_MAX);
+        if wanted > self.entries.len() {
+            *self = ApplyCache::new(wanted);
+        }
+    }
+}
+
+/// Owner of all BDD nodes, the unique table and the operation cache.
 ///
 /// The number of variables is fixed at construction; variables are indexed
 /// `0..num_vars` and that index is also their position in the ordering.
+/// See the [module docs](self) for the arena/cache architecture.
 pub struct BddManager {
     nodes: Vec<Node>,
-    unique: HashMap<Node, NodeId>,
-    apply_cache: HashMap<(Op, NodeId, NodeId), NodeId>,
-    not_cache: HashMap<NodeId, NodeId>,
+    unique: UniqueTable,
+    cache: ApplyCache,
     num_vars: usize,
 }
 
 impl BddManager {
     /// Creates a manager for `num_vars` Boolean variables.
     pub fn new(num_vars: usize) -> Self {
-        let terminal = Node { var: VarId::MAX, low: NodeId::FALSE, high: NodeId::FALSE };
+        Self::with_capacity(num_vars, 1 << 10)
+    }
+
+    /// Creates a manager pre-sized for roughly `node_capacity` nodes.
+    ///
+    /// Sizing the arena and unique table up front keeps fixpoint loops (such
+    /// as symbolic reachability) from rehashing while they grow.
+    pub fn with_capacity(num_vars: usize, node_capacity: usize) -> Self {
+        assert!(
+            num_vars < TERMINAL_VAR as usize,
+            "variable count {num_vars} collides with the terminal sentinel"
+        );
+        let mut nodes = Vec::with_capacity(node_capacity.max(2));
+        // Index 0 and 1 are reserved for the terminals; they are never
+        // reached through the unique table.
+        nodes.push(Node::TERMINAL);
+        nodes.push(Node::TERMINAL);
         BddManager {
-            // Index 0 and 1 are reserved for the terminals; their content is
-            // never inspected through the unique table.
-            nodes: vec![terminal, terminal],
-            unique: HashMap::new(),
-            apply_cache: HashMap::new(),
-            not_cache: HashMap::new(),
+            nodes,
+            unique: UniqueTable::with_node_capacity(node_capacity),
+            cache: ApplyCache::new(APPLY_CACHE_MIN),
             num_vars,
         }
+    }
+
+    /// Pre-allocates room for `additional` more nodes (arena and unique
+    /// table), so a known-size workload triggers no growth rehashing.
+    pub fn reserve(&mut self, additional: usize) {
+        self.nodes.reserve(additional);
+        self.unique.reserve_for(self.nodes.len() + additional, &self.nodes);
+    }
+
+    /// Invalidates the operation cache in O(1) (generation bump).
+    ///
+    /// Results computed afterwards are re-derived through `mk`, so handles
+    /// stay canonical across clears; only memoisation is lost.  Useful
+    /// between phases whose operand sets do not overlap.
+    pub fn clear_caches(&mut self) {
+        self.cache.clear();
     }
 
     /// Number of variables of this manager.
@@ -120,7 +355,7 @@ impl BddManager {
         // Build from the highest variable down so that each `and` touches a
         // small BDD.
         let mut sorted: Vec<(VarId, bool)> = literals.to_vec();
-        sorted.sort_by(|a, b| b.0.cmp(&a.0));
+        sorted.sort_by_key(|&(v, _)| std::cmp::Reverse(v));
         for &(v, val) in &sorted {
             let lit = self.literal(v, val);
             acc = self.and(lit, acc);
@@ -128,29 +363,50 @@ impl BddManager {
         acc
     }
 
+    #[inline]
     fn node(&self, id: NodeId) -> Node {
         self.nodes[id.index()]
     }
 
+    /// The decision variable of `id`; terminals report the sentinel
+    /// [`TERMINAL_VAR`], which orders below every real variable level.
+    #[inline]
     fn var_of(&self, id: NodeId) -> VarId {
-        if id.is_terminal() {
-            VarId::MAX
-        } else {
-            self.nodes[id.index()].var
-        }
+        // Terminal arena slots physically carry the sentinel, so no branch
+        // on `id.is_terminal()` is needed.
+        let node = &self.nodes[id.index()];
+        debug_assert_eq!(
+            node.is_terminal(),
+            id.is_terminal(),
+            "terminal invariants diverged: sentinel var on a non-terminal slot (or vice versa)"
+        );
+        node.var
     }
 
     fn mk(&mut self, var: VarId, low: NodeId, high: NodeId) -> NodeId {
         if low == high {
             return low;
         }
-        let node = Node { var, low, high };
-        if let Some(&id) = self.unique.get(&node) {
-            return id;
+        debug_assert!(
+            (var as usize) < self.num_vars,
+            "mk: variable {var} out of range (terminal sentinel leaked into a decision node?)"
+        );
+        debug_assert!(
+            low.index() < self.nodes.len() && high.index() < self.nodes.len(),
+            "mk: child id out of arena bounds"
+        );
+        debug_assert!(
+            self.var_of(low) > var && self.var_of(high) > var,
+            "mk: ordering violated (children must have strictly larger variables; \
+             terminals report TERMINAL_VAR)"
+        );
+        let id = self.unique.intern(&mut self.nodes, Node { var, low, high });
+        // Keep the (bounded) apply cache proportional to the arena.
+        if self.nodes.len() > self.cache.entries.len() * 4
+            && self.cache.entries.len() < APPLY_CACHE_MAX
+        {
+            self.cache.grow_for(self.nodes.len());
         }
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(node);
-        self.unique.insert(node, id);
         id
     }
 
@@ -164,14 +420,14 @@ impl BddManager {
             NodeId::FALSE => NodeId::TRUE,
             NodeId::TRUE => NodeId::FALSE,
             _ => {
-                if let Some(&r) = self.not_cache.get(&f) {
+                if let Some(r) = self.cache.lookup(Op::Not, f, f) {
                     return r;
                 }
                 let n = self.node(f);
                 let low = self.not_rec(n.low);
                 let high = self.not_rec(n.high);
                 let r = self.mk(n.var, low, high);
-                self.not_cache.insert(f, r);
+                self.cache.store(Op::Not, f, f, r);
                 r
             }
         }
@@ -278,10 +534,11 @@ impl BddManager {
                     return f;
                 }
             }
+            Op::Not => unreachable!("negation goes through not_rec"),
         }
         // Normalise commutative operands for better cache hit rates.
         let (a, b) = if f <= g { (f, g) } else { (g, f) };
-        if let Some(&r) = self.apply_cache.get(&(op, a, b)) {
+        if let Some(r) = self.cache.lookup(op, a, b) {
             return r;
         }
         let va = self.var_of(a);
@@ -302,13 +559,13 @@ impl BddManager {
         let low = self.apply(op, a_low, b_low);
         let high = self.apply(op, a_high, b_high);
         let r = self.mk(v, low, high);
-        self.apply_cache.insert((op, a, b), r);
+        self.cache.store(op, a, b, r);
         r
     }
 
     /// The cofactor of `f` with `var` fixed to `value`.
     pub fn restrict(&mut self, f: Bdd, var: VarId, value: bool) -> Bdd {
-        let mut cache = HashMap::new();
+        let mut cache = FxHashMap::default();
         Bdd(self.restrict_rec(f.0, var, value, &mut cache))
     }
 
@@ -317,7 +574,7 @@ impl BddManager {
         f: NodeId,
         var: VarId,
         value: bool,
-        cache: &mut HashMap<NodeId, NodeId>,
+        cache: &mut FxHashMap<NodeId, NodeId>,
     ) -> NodeId {
         if f.is_terminal() {
             return f;
@@ -405,7 +662,7 @@ impl BddManager {
             let approx = self.sat_count_f64(f);
             return if approx >= u128::MAX as f64 { u128::MAX } else { approx as u128 };
         }
-        let mut cache: HashMap<NodeId, u128> = HashMap::new();
+        let mut cache: FxHashMap<NodeId, u128> = FxHashMap::default();
         let fraction = self.sat_fraction(f.0, &mut cache);
         let shift = bits - self.depth_below_root(f.0);
         fraction.checked_shl(shift).unwrap_or(u128::MAX)
@@ -416,7 +673,7 @@ impl BddManager {
     pub fn sat_count_f64(&self, f: Bdd) -> f64 {
         // `density` returns the fraction of assignments (over all variables)
         // that satisfy the sub-function rooted at `f`.
-        fn density(m: &BddManager, f: NodeId, cache: &mut HashMap<NodeId, f64>) -> f64 {
+        fn density(m: &BddManager, f: NodeId, cache: &mut FxHashMap<NodeId, f64>) -> f64 {
             match f {
                 NodeId::FALSE => 0.0,
                 NodeId::TRUE => 1.0,
@@ -431,7 +688,7 @@ impl BddManager {
                 }
             }
         }
-        let mut cache = HashMap::new();
+        let mut cache = FxHashMap::default();
         density(self, f.0, &mut cache) * 2f64.powi(self.num_vars as i32)
     }
 
@@ -443,7 +700,7 @@ impl BddManager {
         }
     }
 
-    fn sat_fraction(&self, f: NodeId, cache: &mut HashMap<NodeId, u128>) -> u128 {
+    fn sat_fraction(&self, f: NodeId, cache: &mut FxHashMap<NodeId, u128>) -> u128 {
         // Returns the number of satisfying assignments over the variables
         // strictly below (and including) the root variable of `f`, assuming
         // the remaining variables above are free (the caller scales).
@@ -455,13 +712,10 @@ impl BddManager {
                     return c;
                 }
                 let n = self.node(f);
-                let count = |m: &Self, child: NodeId, cache: &mut HashMap<NodeId, u128>| {
+                let count = |m: &Self, child: NodeId, cache: &mut FxHashMap<NodeId, u128>| {
                     let sub = m.sat_fraction(child, cache);
-                    let child_var = if child.is_terminal() {
-                        m.num_vars as VarId
-                    } else {
-                        m.node(child).var
-                    };
+                    let child_var =
+                        if child.is_terminal() { m.num_vars as VarId } else { m.node(child).var };
                     let gap = child_var - n.var - 1;
                     sub.saturating_mul(1u128 << gap.min(127))
                 };
@@ -495,7 +749,7 @@ impl BddManager {
 
     /// The set of variables `f` depends on.
     pub fn support(&self, f: Bdd) -> Vec<VarId> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = FxHashSet::default();
         let mut vars = std::collections::BTreeSet::new();
         let mut stack = vec![f.0];
         while let Some(id) = stack.pop() {
@@ -512,7 +766,7 @@ impl BddManager {
 
     /// Number of distinct nodes reachable from `f` (a size measure).
     pub fn size(&self, f: Bdd) -> usize {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = FxHashSet::default();
         let mut stack = vec![f.0];
         let mut count = 0;
         while let Some(id) = stack.pop() {
@@ -698,5 +952,100 @@ mod tests {
         assert_eq!(m.sat_count(conj), 1);
         let disj = m.or_many(all_vars.iter().copied());
         assert_eq!(m.sat_count(disj), 255);
+    }
+
+    #[test]
+    fn terminal_sentinel_is_explicit() {
+        let m = BddManager::new(4);
+        assert!(m.nodes[0].is_terminal());
+        assert!(m.nodes[1].is_terminal());
+        assert_eq!(m.var_of(NodeId::FALSE), TERMINAL_VAR);
+        assert_eq!(m.var_of(NodeId::TRUE), TERMINAL_VAR);
+    }
+
+    #[test]
+    #[should_panic(expected = "terminal sentinel")]
+    fn num_vars_may_not_collide_with_the_sentinel() {
+        let _ = BddManager::new(TERMINAL_VAR as usize);
+    }
+
+    #[test]
+    fn results_stay_canonical_across_cache_clears() {
+        let mut m = BddManager::new(6);
+        let vars: Vec<Bdd> = (0..6).map(|i| m.var(i)).collect();
+        let mut before = Vec::new();
+        for i in 0..5 {
+            let x = m.xor(vars[i], vars[i + 1]);
+            before.push(m.or(x, vars[0]));
+        }
+        m.clear_caches();
+        // Recomputing after an O(1) cache invalidation must return the very
+        // same handles (canonicity lives in the unique table, not the cache).
+        for (i, &expected) in before.iter().enumerate() {
+            let x = m.xor(vars[i], vars[i + 1]);
+            assert_eq!(m.or(x, vars[0]), expected);
+        }
+        let nodes_after_recompute = m.num_nodes();
+        m.clear_caches();
+        let a = m.and(vars[2], vars[3]);
+        let b = m.and(vars[3], vars[2]);
+        assert_eq!(a, b);
+        assert_eq!(m.num_nodes(), nodes_after_recompute + 1, "one new conjunction node");
+    }
+
+    #[test]
+    fn cache_generation_survives_many_clears() {
+        let mut m = BddManager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let expected = m.and(a, b);
+        for _ in 0..10_000 {
+            m.clear_caches();
+        }
+        assert_eq!(m.and(a, b), expected);
+    }
+
+    #[test]
+    fn reserve_prevents_arena_reallocation() {
+        let mut m = BddManager::with_capacity(16, 4);
+        m.reserve(100_000);
+        let start_capacity = m.nodes.capacity();
+        let vars: Vec<Bdd> = (0..16).map(|i| m.var(i)).collect();
+        let mut acc = m.bottom();
+        for chunk in vars.chunks(2) {
+            let pair = m.and(chunk[0], chunk[1]);
+            acc = m.or(acc, pair);
+        }
+        assert!(m.num_nodes() > 2);
+        assert_eq!(m.nodes.capacity(), start_capacity, "no growth after reserve");
+        assert!(!acc.is_false());
+    }
+
+    #[test]
+    fn unique_table_grows_past_initial_capacity() {
+        // Force many distinct nodes through a tiny initial table.
+        let mut m = BddManager::with_capacity(24, 4);
+        let vars: Vec<Bdd> = (0..24).map(|i| m.var(i)).collect();
+        let mut fns = Vec::new();
+        for i in 0..24 {
+            for j in (i + 1)..24 {
+                fns.push(m.xor(vars[i], vars[j]));
+            }
+        }
+        // Re-deriving every function must return identical handles even
+        // after multiple table growths.
+        for (k, &expected) in fns.iter().enumerate() {
+            let mut idx = 0;
+            'outer: for i in 0..24 {
+                for j in (i + 1)..24 {
+                    if idx == k {
+                        assert_eq!(m.xor(vars[i], vars[j]), expected);
+                        break 'outer;
+                    }
+                    idx += 1;
+                }
+            }
+        }
+        assert!(m.num_nodes() > 24 * 3);
     }
 }

@@ -41,12 +41,38 @@ impl fmt::Debug for NodeId {
     }
 }
 
+/// The sentinel variable index carried by the two terminal nodes.
+///
+/// Terminals sit conceptually *below* every decision level, so their
+/// variable must compare greater than any real variable in the `min`-based
+/// top-variable computations of `apply`.  `VarId::MAX` guarantees that, and
+/// [`crate::BddManager`] asserts at construction that no real variable can
+/// ever collide with it.
+pub(crate) const TERMINAL_VAR: VarId = VarId::MAX;
+
 /// An internal decision node: `if var then high else low`.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub(crate) struct Node {
     pub var: VarId,
     pub low: NodeId,
     pub high: NodeId,
+}
+
+impl Node {
+    /// The arena representation of both terminals: children point at the
+    /// `false` terminal and are never followed.
+    pub(crate) const TERMINAL: Node =
+        Node { var: TERMINAL_VAR, low: NodeId::FALSE, high: NodeId::FALSE };
+
+    /// Returns `true` if this node is one of the two terminals.
+    ///
+    /// This is the *representation* invariant (`var == TERMINAL_VAR`); it
+    /// must agree with the *positional* invariant ([`NodeId::is_terminal`],
+    /// index ≤ 1) for the first two arena slots and only those.
+    #[inline]
+    pub(crate) fn is_terminal(&self) -> bool {
+        self.var == TERMINAL_VAR
+    }
 }
 
 #[cfg(test)]

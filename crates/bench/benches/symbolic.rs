@@ -1,6 +1,9 @@
 //! Ablation C: explicit vs. BDD-symbolic reachability on the same models.
+//!
+//! Run with `cargo bench -p bench --bench symbolic`; set
+//! `BENCH_OUT=BENCH_symbolic.json` to record a machine-readable baseline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::{black_box, Criterion};
 use std::time::Duration;
 
 fn explicit_vs_symbolic(c: &mut Criterion) {
@@ -9,14 +12,30 @@ fn explicit_vs_symbolic(c: &mut Criterion) {
     for n in [4usize, 6] {
         let model = stg::benchmarks::parallel_handshakes(n);
         group.bench_function(format!("explicit/par_hs{n}"), |b| {
-            b.iter(|| criterion::black_box(model.state_graph(2_000_000).unwrap().num_states()))
+            b.iter(|| black_box(model.state_graph(2_000_000).unwrap().num_states()))
         });
         group.bench_function(format!("symbolic/par_hs{n}"), |b| {
-            b.iter(|| criterion::black_box(model.symbolic_state_space(None).state_count()))
+            b.iter(|| black_box(model.symbolic_state_space(None).state_count()))
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, explicit_vs_symbolic);
-criterion_main!(benches);
+fn symbolic_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_c/symbolic_only");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [12usize, 16] {
+        let model = stg::benchmarks::parallel_handshakes(n);
+        group.bench_function(format!("par_hs{n}"), |b| {
+            b.iter(|| black_box(model.symbolic_state_space(None).state_count_f64()))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = Criterion::new();
+    explicit_vs_symbolic(&mut c);
+    symbolic_scaling(&mut c);
+    c.finish();
+}

@@ -1,7 +1,7 @@
-//! Criterion benchmark behind Table 1: symbolic reachability and explicit
-//! CSC solving on the state-explosion workloads.
+//! Benchmark behind Table 1: symbolic reachability and explicit CSC solving
+//! on the state-explosion workloads.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::{black_box, Criterion};
 use std::time::Duration;
 
 fn symbolic_state_counts(c: &mut Criterion) {
@@ -12,7 +12,7 @@ fn symbolic_state_counts(c: &mut Criterion) {
         group.bench_function(format!("par_hs{n}"), |b| {
             b.iter(|| {
                 let space = model.symbolic_state_space(None);
-                criterion::black_box(space.state_count_f64())
+                black_box(space.state_count_f64())
             })
         });
     }
@@ -28,12 +28,16 @@ fn explicit_csc_on_banks(c: &mut Criterion) {
             b.iter(|| {
                 let solution =
                     csc::solve_stg(&model, &csc::SolverConfig::default()).expect("solvable");
-                criterion::black_box(solution.inserted_signals.len())
+                black_box(solution.inserted_signals.len())
             })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, symbolic_state_counts, explicit_csc_on_banks);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    symbolic_state_counts(&mut c);
+    explicit_csc_on_banks(&mut c);
+    c.finish();
+}

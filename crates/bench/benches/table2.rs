@@ -1,7 +1,7 @@
-//! Criterion benchmark behind Table 2: full flow (solve + area estimate)
-//! with the region-based method and the excitation-region baseline.
+//! Benchmark behind Table 2: full flow (solve + area estimate) with the
+//! region-based method and the excitation-region baseline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::{black_box, Criterion};
 use std::time::Duration;
 use synthkit::{run_flow, FlowOptions};
 
@@ -15,14 +15,17 @@ fn region_vs_baseline(c: &mut Criterion) {
         ("master_read_like", stg::benchmarks::master_read_like()),
     ] {
         group.bench_function(format!("{name}/region"), |b| {
-            b.iter(|| criterion::black_box(run_flow(&model, &FlowOptions::default()).unwrap()))
+            b.iter(|| black_box(run_flow(&model, &FlowOptions::default()).unwrap()))
         });
         group.bench_function(format!("{name}/baseline"), |b| {
-            b.iter(|| criterion::black_box(run_flow(&model, &FlowOptions::baseline()).ok()))
+            b.iter(|| black_box(run_flow(&model, &FlowOptions::baseline()).ok()))
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, region_vs_baseline);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    region_vs_baseline(&mut c);
+    c.finish();
+}

@@ -3,11 +3,16 @@
 
 fn main() {
     println!("Ablation B — concurrency enlargement\n");
-    for model in [stg::benchmarks::vme_read(), stg::benchmarks::pulser(), stg::benchmarks::sequencer(4)] {
+    for model in
+        [stg::benchmarks::vme_read(), stg::benchmarks::pulser(), stg::benchmarks::sequencer(4)]
+    {
         println!("{}", model.name());
         println!("  {:>9} {:>9} {:>9} {:>9}", "enlarge", "signals", "literals", "cpu[s]");
         for (enlarge, signals, literals, cpu) in bench::concurrency_enlargement_comparison(&model) {
-            println!("  {:>9} {signals:>9} {literals:>9} {cpu:>9.3}", if enlarge { "on" } else { "off" });
+            println!(
+                "  {:>9} {signals:>9} {literals:>9} {cpu:>9.3}",
+                if enlarge { "on" } else { "off" }
+            );
         }
     }
 }

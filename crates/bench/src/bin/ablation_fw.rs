@@ -2,7 +2,9 @@
 
 fn main() {
     println!("Ablation A — frontier width sweep\n");
-    for model in [stg::benchmarks::vme_read(), stg::benchmarks::sequencer(4), stg::benchmarks::counter(2)] {
+    for model in
+        [stg::benchmarks::vme_read(), stg::benchmarks::sequencer(4), stg::benchmarks::counter(2)]
+    {
         println!("{}", model.name());
         println!("  {:>4} {:>9} {:>9} {:>9}", "FW", "signals", "literals", "cpu[s]");
         for (fw, signals, literals, cpu) in bench::frontier_width_sweep(&model, &[1, 2, 4, 8, 16]) {

@@ -2,7 +2,9 @@
 //! (ASSASSIN-style) baseline — area in literals and CPU seconds.
 
 fn main() {
-    println!("Table 2 — area (literals) and CPU: excitation-region baseline vs. region-based method\n");
+    println!(
+        "Table 2 — area (literals) and CPU: excitation-region baseline vs. region-based method\n"
+    );
     let rows = bench::table2_rows();
     println!("{}", bench::render_table2(&rows));
 }

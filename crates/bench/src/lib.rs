@@ -12,12 +12,14 @@
 //!   algorithm (greedy ER enlargement).
 //!
 //! Each function returns plain data; the `table1`/`table2`/`ablation_*`
-//! binaries print them as aligned text tables and the Criterion benches
-//! measure the underlying runtimes.  `EXPERIMENTS.md` records one captured
-//! run next to the numbers reported in the paper.
+//! binaries print them as aligned text tables and the wall-clock benches
+//! (built on the in-repo [`harness`] module) measure the underlying
+//! runtimes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use csc::{solve_stg, SolverConfig};
 use logic::estimate_area;
@@ -99,11 +101,8 @@ pub fn table1_rows_for(workloads: Vec<(Stg, usize)>) -> Vec<Table1Row> {
             // The per-signal symbolic CSC check is only run while the
             // variable count stays moderate; the huge pure-concurrency
             // workloads are conflict-free by construction anyway.
-            let has_conflicts = if places + signals <= 48 {
-                Some(model.symbolic_csc_violation(0))
-            } else {
-                None
-            };
+            let has_conflicts =
+                if places + signals <= 48 { Some(model.symbolic_csc_violation(0)) } else { None };
             let inserted_signals = if explicit_limit > 0 {
                 let config = SolverConfig { max_states: explicit_limit, ..SolverConfig::default() };
                 solve_stg(&model, &config).ok().map(|s| s.inserted_signals.len())
@@ -130,7 +129,15 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<18} {:>7} {:>7} {:>8} {:>14} {:>10} {:>9} {:>8} {:>9}\n",
-        "benchmark", "places", "trans.", "signals", "states", "bdd nodes", "csc?", "inserted", "cpu[s]"
+        "benchmark",
+        "places",
+        "trans.",
+        "signals",
+        "states",
+        "bdd nodes",
+        "csc?",
+        "inserted",
+        "cpu[s]"
     ));
     for r in rows {
         out.push_str(&format!(
@@ -159,10 +166,7 @@ pub fn table2_rows() -> Vec<Table2Row> {
     stg::benchmarks::table2_suite()
         .into_iter()
         .map(|(name, model, _)| {
-            let states = model
-                .state_graph(1_000_000)
-                .map(|sg| sg.num_states())
-                .unwrap_or_default();
+            let states = model.state_graph(1_000_000).map(|sg| sg.num_states()).unwrap_or_default();
             let region = measure(&model, &SolverConfig::default());
             let baseline = measure(&model, &SolverConfig::excitation_region_baseline());
             Table2Row { name: name.to_owned(), states, region, baseline }
@@ -239,7 +243,12 @@ pub fn concurrency_enlargement_comparison(model: &Stg) -> Vec<(bool, usize, usiz
             let start = Instant::now();
             let solution = solve_stg(model, &config).ok()?;
             let literals = estimate_area(&solution.graph).ok()?.total_literals;
-            Some((enlarge, solution.inserted_signals.len(), literals, start.elapsed().as_secs_f64()))
+            Some((
+                enlarge,
+                solution.inserted_signals.len(),
+                literals,
+                start.elapsed().as_secs_f64(),
+            ))
         })
         .collect()
 }

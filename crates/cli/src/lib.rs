@@ -99,7 +99,11 @@ impl fmt::Display for FlowReport {
         if let Some(literals) = self.literals {
             writeln!(f, "area        : {literals} literals")?;
         }
-        writeln!(f, "stg output  : {}", if self.resynthesized { "re-synthesized" } else { "state graph only" })?;
+        writeln!(
+            f,
+            "stg output  : {}",
+            if self.resynthesized { "re-synthesized" } else { "state graph only" }
+        )?;
         write!(f, "cpu         : {:.3} s", self.cpu_seconds)
     }
 }

@@ -5,9 +5,15 @@
 //! function of the signal values can then tell them apart, so the non-input
 //! signals cannot be implemented.  States with equal codes and equal enabled
 //! non-input sets (USC violations that are not CSC violations) are harmless.
+//!
+//! Conflict detection runs once per solver iteration, so the code-bucketing
+//! pass keeps its hash table and bucket vectors in a [`ConflictScratch`]
+//! that survives across calls: clearing retains every allocation, and the
+//! table uses the FxHash fold rather than SipHash since state codes are
+//! program-generated integers.
 
 use crate::EncodedGraph;
-use std::collections::HashMap;
+use bdd::FxHashMap;
 use ts::StateId;
 
 /// A pair of states witnessing a CSC violation.
@@ -21,44 +27,105 @@ pub struct CscConflict {
     pub code: u64,
 }
 
+/// Reusable working memory of the code-bucketing passes.
+///
+/// The solver calls conflict detection every iteration; holding one scratch
+/// across iterations means the hash table and the per-code bucket vectors
+/// are allocated once and then only cleared (capacity retained).
+#[derive(Default)]
+pub struct ConflictScratch {
+    /// code → index into `buckets`.
+    index: FxHashMap<u64, u32>,
+    /// Bucket storage; only the first `used` entries are live this pass.
+    buckets: Vec<Vec<StateId>>,
+    used: usize,
+}
+
+impl ConflictScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        ConflictScratch::default()
+    }
+
+    /// Buckets every state of `graph` by code; returns the live buckets.
+    fn bucket_by_code<'a>(&'a mut self, graph: &EncodedGraph) -> &'a [Vec<StateId>] {
+        self.index.clear();
+        for bucket in &mut self.buckets[..self.used] {
+            bucket.clear();
+        }
+        self.used = 0;
+        for s in 0..graph.num_states() {
+            let s = StateId::from(s);
+            let slot = *self.index.entry(graph.code(s)).or_insert_with(|| {
+                let slot = self.used as u32;
+                if self.used == self.buckets.len() {
+                    self.buckets.push(Vec::new());
+                }
+                self.used += 1;
+                slot
+            });
+            self.buckets[slot as usize].push(s);
+        }
+        &self.buckets[..self.used]
+    }
+}
+
 /// Enumerates every CSC conflict pair of the graph.
 ///
 /// The result is sorted by `(code, a, b)` so that runs are deterministic.
+/// Convenience wrapper over [`conflict_pairs_with`] that allocates a fresh
+/// scratch; iterative callers should hold a [`ConflictScratch`] instead.
 pub fn conflict_pairs(graph: &EncodedGraph) -> Vec<CscConflict> {
-    let mut by_code: HashMap<u64, Vec<StateId>> = HashMap::new();
-    for s in 0..graph.num_states() {
-        let s = StateId::from(s);
-        by_code.entry(graph.code(s)).or_default().push(s);
-    }
-    let mut conflicts = Vec::new();
-    for (&code, states) in &by_code {
+    let mut scratch = ConflictScratch::new();
+    let mut out = Vec::new();
+    conflict_pairs_with(graph, &mut scratch, &mut out);
+    out
+}
+
+/// Enumerates every CSC conflict pair of the graph into `out` (cleared
+/// first), reusing `scratch` across calls.
+pub fn conflict_pairs_with(
+    graph: &EncodedGraph,
+    scratch: &mut ConflictScratch,
+    out: &mut Vec<CscConflict>,
+) {
+    out.clear();
+    for states in scratch.bucket_by_code(graph) {
         if states.len() < 2 {
             continue;
         }
+        let code = graph.code(states[0]);
         for i in 0..states.len() {
             for j in (i + 1)..states.len() {
                 let (a, b) = (states[i], states[j]);
                 if graph.enabled_non_input_mask(a) != graph.enabled_non_input_mask(b) {
                     let (a, b) = if a < b { (a, b) } else { (b, a) };
-                    conflicts.push(CscConflict { a, b, code });
+                    out.push(CscConflict { a, b, code });
                 }
             }
         }
     }
-    conflicts.sort_by_key(|c| (c.code, c.a, c.b));
-    conflicts
+    out.sort_by_key(|c| (c.code, c.a, c.b));
+}
+
+/// Returns `true` as soon as any CSC conflict exists (early-exit variant
+/// used for the termination check).
+///
+/// A bucket contains a conflicting pair exactly when not all of its enabled
+/// non-input masks are equal, i.e. when some mask differs from the first.
+pub fn has_conflict(graph: &EncodedGraph, scratch: &mut ConflictScratch) -> bool {
+    scratch.bucket_by_code(graph).iter().any(|states| {
+        let first = states.first().map(|&s| graph.enabled_non_input_mask(s));
+        states.iter().skip(1).any(|&b| Some(graph.enabled_non_input_mask(b)) != first)
+    })
 }
 
 /// Enumerates every pair of distinct states with equal codes (USC
 /// violations), whether or not they are CSC conflicts.
 pub fn code_clash_pairs(graph: &EncodedGraph) -> Vec<(StateId, StateId)> {
-    let mut by_code: HashMap<u64, Vec<StateId>> = HashMap::new();
-    for s in 0..graph.num_states() {
-        let s = StateId::from(s);
-        by_code.entry(graph.code(s)).or_default().push(s);
-    }
+    let mut scratch = ConflictScratch::new();
     let mut pairs = Vec::new();
-    for states in by_code.values() {
+    for states in scratch.bucket_by_code(graph) {
         for i in 0..states.len() {
             for j in (i + 1)..states.len() {
                 pairs.push((states[i], states[j]));
@@ -84,6 +151,7 @@ mod tests {
         let graph = graph_of(&benchmarks::handshake());
         assert!(conflict_pairs(&graph).is_empty());
         assert!(code_clash_pairs(&graph).is_empty());
+        assert!(!has_conflict(&graph, &mut ConflictScratch::new()));
     }
 
     #[test]
@@ -96,6 +164,7 @@ mod tests {
             assert_ne!(graph.enabled_non_input_mask(c.a), graph.enabled_non_input_mask(c.b));
             assert!(c.a < c.b);
         }
+        assert!(has_conflict(&graph, &mut ConflictScratch::new()));
     }
 
     #[test]
@@ -124,6 +193,7 @@ mod tests {
         let graph = graph_of(&b.build().unwrap());
         assert!(conflict_pairs(&graph).is_empty());
         assert_eq!(code_clash_pairs(&graph).len(), 1);
+        assert!(!has_conflict(&graph, &mut ConflictScratch::new()));
     }
 
     #[test]
@@ -132,5 +202,17 @@ mod tests {
         let first = conflict_pairs(&graph);
         let second = conflict_pairs(&graph);
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let mut scratch = ConflictScratch::new();
+        let mut out = Vec::new();
+        for model in [benchmarks::pulser(), benchmarks::handshake(), benchmarks::sequencer(4)] {
+            let graph = graph_of(&model);
+            conflict_pairs_with(&graph, &mut scratch, &mut out);
+            assert_eq!(out, conflict_pairs(&graph), "{}", model.name());
+            assert_eq!(!out.is_empty(), has_conflict(&graph, &mut scratch), "{}", model.name());
+        }
     }
 }

@@ -79,7 +79,7 @@ impl EncodedGraph {
 
     /// Returns `true` if Complete State Coding holds.
     pub fn complete_state_coding_holds(&self) -> bool {
-        crate::conflicts::conflict_pairs(self).is_empty()
+        !crate::conflicts::has_conflict(self, &mut crate::conflicts::ConflictScratch::new())
     }
 
     /// Returns `true` if Unique State Coding holds (no two states share a
@@ -133,21 +133,27 @@ impl EncodedGraph {
                         match edge {
                             Some((signal, polarity)) if signal.index() == sig => match polarity {
                                 Polarity::Rise => {
-                                    changed |= set_bit(t.source, sig, false, &mut known, &mut value)?;
-                                    changed |= set_bit(t.target, sig, true, &mut known, &mut value)?;
+                                    changed |=
+                                        set_bit(t.source, sig, false, &mut known, &mut value)?;
+                                    changed |=
+                                        set_bit(t.target, sig, true, &mut known, &mut value)?;
                                 }
                                 Polarity::Fall => {
-                                    changed |= set_bit(t.source, sig, true, &mut known, &mut value)?;
-                                    changed |= set_bit(t.target, sig, false, &mut known, &mut value)?;
+                                    changed |=
+                                        set_bit(t.source, sig, true, &mut known, &mut value)?;
+                                    changed |=
+                                        set_bit(t.target, sig, false, &mut known, &mut value)?;
                                 }
                                 Polarity::Toggle => {
                                     if known[t.source.index()] & mask != 0 {
                                         let v = value[t.source.index()] & mask != 0;
-                                        changed |= set_bit(t.target, sig, !v, &mut known, &mut value)?;
+                                        changed |=
+                                            set_bit(t.target, sig, !v, &mut known, &mut value)?;
                                     }
                                     if known[t.target.index()] & mask != 0 {
                                         let v = value[t.target.index()] & mask != 0;
-                                        changed |= set_bit(t.source, sig, !v, &mut known, &mut value)?;
+                                        changed |=
+                                            set_bit(t.source, sig, !v, &mut known, &mut value)?;
                                     }
                                 }
                             },

@@ -59,10 +59,7 @@ pub fn insert_state_signal(
 
 /// Convenience: the number of states of `graph` whose code equals `code`.
 pub fn states_with_code(graph: &EncodedGraph, code: u64) -> Vec<StateId> {
-    (0..graph.num_states())
-        .map(StateId::from)
-        .filter(|&s| graph.code(s) == code)
-        .collect()
+    (0..graph.num_states()).map(StateId::from).filter(|&s| graph.code(s) == code).collect()
 }
 
 #[cfg(test)]

@@ -54,7 +54,7 @@ pub mod partition;
 pub mod search;
 pub mod solver;
 
-pub use conflicts::{conflict_pairs, CscConflict};
+pub use conflicts::{conflict_pairs, conflict_pairs_with, ConflictScratch, CscConflict};
 pub use error::CscError;
 pub use graph::EncodedGraph;
 pub use insert::insert_state_signal;

@@ -17,8 +17,7 @@ use crate::conflicts::CscConflict;
 use crate::partition::IPartition;
 use crate::EncodedGraph;
 use regions::{adjacent_bricks, is_sip_set, Brick, BrickKind};
-use std::collections::HashSet;
-use ts::{EventId, StateSet};
+use ts::{EventId, SetDedup, StateSet};
 
 /// Which candidate bricks the search may use.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
@@ -115,9 +114,11 @@ pub struct BlockCandidate {
 /// transition would have to wait for the new signal, delaying the
 /// environment).
 fn delays_inputs(graph: &EncodedGraph, set: &StateSet) -> bool {
-    graph.ts.transitions().iter().any(|t| {
-        set.contains(t.source) && !set.contains(t.target) && graph.is_input_event(t.event)
-    })
+    graph
+        .ts
+        .transitions()
+        .iter()
+        .any(|t| set.contains(t.source) && !set.contains(t.target) && graph.is_input_event(t.event))
 }
 
 /// Repairs an excitation-region candidate so that the insertion preserves
@@ -166,7 +167,7 @@ fn repair_excitation_region(
                 return None;
             }
             for component in ts.excitation_regions(e) {
-                if component.is_disjoint(&er) || component.is_subset(&er) {
+                if !component.intersects(&er) || component.is_subset(&er) {
                     continue;
                 }
                 if !component.is_subset(side) {
@@ -258,14 +259,14 @@ pub fn evaluate_block(
 /// Builds the brick set for the excitation-region-only baseline.
 pub fn excitation_region_bricks(graph: &EncodedGraph) -> Vec<Brick> {
     let mut bricks = Vec::new();
-    let mut seen: HashSet<StateSet> = HashSet::new();
+    let mut seen = SetDedup::new();
     for e in 0..graph.ts.num_events() {
         let e = EventId::from(e);
         for set in graph.ts.excitation_regions(e).into_iter().chain(graph.ts.switching_regions(e)) {
             if set.is_empty() || set.len() == graph.ts.num_states() {
                 continue;
             }
-            if seen.insert(set.clone()) {
+            if seen.insert(&set) {
                 bricks.push(Brick { states: set, kind: BrickKind::ExcitationRegion(e) });
             }
         }
@@ -285,13 +286,13 @@ pub fn find_best_block(
     if conflicts.is_empty() || bricks.is_empty() {
         return None;
     }
-    let mut seen: HashSet<StateSet> = HashSet::new();
+    let mut seen = SetDedup::new();
     let mut scored: Vec<BlockCandidate> = bricks
         .iter()
-        .filter(|b| seen.insert(b.states.clone()))
+        .filter(|b| seen.insert(&b.states))
         .map(|b| evaluate_block(graph, conflicts, &b.states))
         .collect();
-    scored.sort_by(|a, b| a.cost.cmp(&b.cost));
+    scored.sort_by_key(|a| a.cost);
 
     let mut good_blocks: Vec<BlockCandidate> = scored.clone();
     // The first growth round starts from *every* brick so that seeds in all
@@ -306,7 +307,7 @@ pub fn find_best_block(
         for bl in &frontier {
             for br in adjacent_bricks(&graph.ts, &bl.states, bricks) {
                 let grown = bl.states.union(&br.states);
-                if grown.len() == graph.num_states() || !seen.insert(grown.clone()) {
+                if grown.len() == graph.num_states() || !seen.insert(&grown) {
                     continue;
                 }
                 let candidate = evaluate_block(graph, conflicts, &grown);
@@ -319,14 +320,14 @@ pub fn find_best_block(
         if new_frontier.is_empty() {
             break;
         }
-        new_frontier.sort_by(|a, b| a.cost.cmp(&b.cost));
+        new_frontier.sort_by_key(|a| a.cost);
         new_frontier.truncate(frontier_width.max(1));
         frontier = new_frontier;
     }
 
     // Greedy merging of good (possibly disconnected) blocks, guided by the
     // cost function.
-    good_blocks.sort_by(|a, b| a.cost.cmp(&b.cost));
+    good_blocks.sort_by_key(|a| a.cost);
     let mut best = good_blocks.first()?.clone();
     for other in good_blocks.iter().skip(1).take(32) {
         if other.states.is_subset(&best.states) {
@@ -342,18 +343,17 @@ pub fn find_best_block(
         }
     }
 
-    let solves_cleanly = best.cost.valid
-        && best.cost.unresolved() < conflicts.len()
-        && best.partition.is_some();
+    let solves_cleanly =
+        best.cost.valid && best.cost.unresolved() < conflicts.len() && best.partition.is_some();
     if solves_cleanly {
         return Some(best);
     }
     // Fall back to the best candidate that at least separates one conflict
     // pair (its borders may introduce secondary conflicts, which the outer
     // solver loop resolves on later iterations — paper Fig. 3).
-    good_blocks
-        .into_iter()
-        .find(|c| c.cost.valid && c.cost.unseparated_conflicts < conflicts.len() && c.partition.is_some())
+    good_blocks.into_iter().find(|c| {
+        c.cost.valid && c.cost.unseparated_conflicts < conflicts.len() && c.partition.is_some()
+    })
 }
 
 /// Greedily enlarges the excitation regions of `partition` by adjacent
@@ -418,17 +418,61 @@ mod tests {
 
     #[test]
     fn cost_ordering_follows_the_paper_priorities() {
-        let valid = Cost { valid: true, unseparated_conflicts: 3, border_conflicts: 0, short_circuits: 0, triggers: 9, imbalance: 4 };
-        let invalid = Cost { valid: false, unseparated_conflicts: 0, border_conflicts: 0, short_circuits: 0, triggers: 0, imbalance: 0 };
+        let valid = Cost {
+            valid: true,
+            unseparated_conflicts: 3,
+            border_conflicts: 0,
+            short_circuits: 0,
+            triggers: 9,
+            imbalance: 4,
+        };
+        let invalid = Cost {
+            valid: false,
+            unseparated_conflicts: 0,
+            border_conflicts: 0,
+            short_circuits: 0,
+            triggers: 0,
+            imbalance: 0,
+        };
         assert!(valid < invalid, "validity dominates everything else");
-        let fewer_conflicts =
-            Cost { valid: true, unseparated_conflicts: 1, border_conflicts: 0, short_circuits: 5, triggers: 90, imbalance: 40 };
+        let fewer_conflicts = Cost {
+            valid: true,
+            unseparated_conflicts: 1,
+            border_conflicts: 0,
+            short_circuits: 5,
+            triggers: 90,
+            imbalance: 40,
+        };
         assert!(fewer_conflicts < valid, "solved conflicts dominate logic estimates");
-        let fewer_triggers = Cost { valid: true, unseparated_conflicts: 1, border_conflicts: 0, short_circuits: 5, triggers: 2, imbalance: 40 };
+        let fewer_triggers = Cost {
+            valid: true,
+            unseparated_conflicts: 1,
+            border_conflicts: 0,
+            short_circuits: 5,
+            triggers: 2,
+            imbalance: 40,
+        };
         assert!(fewer_triggers < fewer_conflicts);
-        let no_border_risk = Cost { valid: true, unseparated_conflicts: 1, border_conflicts: 0, short_circuits: 99, triggers: 99, imbalance: 99 };
-        let border_risk = Cost { valid: true, unseparated_conflicts: 1, border_conflicts: 2, short_circuits: 0, triggers: 0, imbalance: 0 };
-        assert!(no_border_risk < border_risk, "guaranteed resolution beats secondary-conflict risk");
+        let no_border_risk = Cost {
+            valid: true,
+            unseparated_conflicts: 1,
+            border_conflicts: 0,
+            short_circuits: 99,
+            triggers: 99,
+            imbalance: 99,
+        };
+        let border_risk = Cost {
+            valid: true,
+            unseparated_conflicts: 1,
+            border_conflicts: 2,
+            short_circuits: 0,
+            triggers: 0,
+            imbalance: 0,
+        };
+        assert!(
+            no_border_risk < border_risk,
+            "guaranteed resolution beats secondary-conflict risk"
+        );
     }
 
     #[test]

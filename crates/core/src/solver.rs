@@ -9,7 +9,7 @@
 //! the feature the paper singles out as distinguishing `petrify` from
 //! earlier tools.
 
-use crate::conflicts::conflict_pairs;
+use crate::conflicts::{conflict_pairs_with, ConflictScratch, CscConflict};
 use crate::graph::EncodedGraph;
 use crate::insert::insert_state_signal;
 use crate::search::{
@@ -128,18 +128,19 @@ pub fn solve_stg(model: &Stg, config: &SolverConfig) -> Result<CscSolution, CscE
 pub fn solve_state_graph(sg: &StateGraph, config: &SolverConfig) -> Result<CscSolution, CscError> {
     let start = Instant::now();
     let mut graph = EncodedGraph::from_state_graph(sg);
+    // One scratch table and one conflict vector serve every iteration: the
+    // code-bucketing pass clears them but keeps their allocations.
+    let mut scratch = ConflictScratch::new();
+    let mut conflicts: Vec<CscConflict> = Vec::new();
+    conflict_pairs_with(&graph, &mut scratch, &mut conflicts);
     let mut stats = SolveStats {
         initial_states: graph.num_states(),
-        initial_conflicts: conflict_pairs(&graph).len(),
+        initial_conflicts: conflicts.len(),
         ..SolveStats::default()
     };
     let mut inserted: Vec<String> = Vec::new();
 
-    loop {
-        let conflicts = conflict_pairs(&graph);
-        if conflicts.is_empty() {
-            break;
-        }
+    while !conflicts.is_empty() {
         if inserted.len() >= config.max_signals {
             return Err(CscError::SignalLimitReached {
                 limit: config.max_signals,
@@ -169,12 +170,14 @@ pub fn solve_state_graph(sg: &StateGraph, config: &SolverConfig) -> Result<CscSo
         graph = insert_state_signal(&graph, &name, &partition, config.insertion_style)?;
         inserted.push(name);
         stats.iterations += 1;
+        conflict_pairs_with(&graph, &mut scratch, &mut conflicts);
     }
 
     stats.final_states = graph.num_states();
     stats.elapsed = start.elapsed();
 
-    let stg = if config.resynthesize { resynthesize(&graph, sg, &config.region_config) } else { None };
+    let stg =
+        if config.resynthesize { resynthesize(&graph, sg, &config.region_config) } else { None };
 
     Ok(CscSolution { graph, inserted_signals: inserted, stats, stg })
 }
@@ -182,7 +185,11 @@ pub fn solve_state_graph(sg: &StateGraph, config: &SolverConfig) -> Result<CscSo
 /// Attempts to re-synthesize an STG (Petri net plus signal labels) from the
 /// final encoded state graph.  Returns `None` when the state graph is not
 /// excitation closed (label splitting would be required).
-fn resynthesize(graph: &EncodedGraph, original: &StateGraph, region_config: &RegionConfig) -> Option<Stg> {
+fn resynthesize(
+    graph: &EncodedGraph,
+    original: &StateGraph,
+    region_config: &RegionConfig,
+) -> Option<Stg> {
     let synthesized = synthesize_net(&graph.ts, region_config).ok()?;
     // Rebuild the label table: net transitions are named after the events of
     // the encoded graph ("lds+", "csc0-", …).

@@ -75,9 +75,8 @@ mod tests {
 
     #[test]
     fn handshake_area_is_minimal() {
-        let graph = EncodedGraph::from_state_graph(
-            &benchmarks::handshake().state_graph(100).unwrap(),
-        );
+        let graph =
+            EncodedGraph::from_state_graph(&benchmarks::handshake().state_graph(100).unwrap());
         let report = estimate_area(&graph).unwrap();
         assert_eq!(report.total_literals, 1);
         assert_eq!(report.signals.len(), 1);

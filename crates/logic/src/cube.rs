@@ -200,8 +200,7 @@ mod tests {
 
     #[test]
     fn cover_queries() {
-        let cover: Cover =
-            [Cube::minterm(3, 0b001), Cube::minterm(3, 0b110)].into_iter().collect();
+        let cover: Cover = [Cube::minterm(3, 0b001), Cube::minterm(3, 0b110)].into_iter().collect();
         assert_eq!(cover.len(), 2);
         assert_eq!(cover.literal_count(), 6);
         assert!(cover.contains_minterm(0b001));

@@ -72,7 +72,8 @@ pub fn minimize_cover(on_set: &Cover, off_set: &Cover) -> Cover {
     let mut index = 0;
     while index < result.len() {
         let candidate = result[index].clone();
-        let others: Vec<&Cube> = result.iter().enumerate().filter(|&(i, _)| i != index).map(|(_, c)| c).collect();
+        let others: Vec<&Cube> =
+            result.iter().enumerate().filter(|&(i, _)| i != index).map(|(_, c)| c).collect();
         let still_covered = on_set.cubes().iter().all(|on_cube| {
             if !candidate.intersects(on_cube) {
                 return true;
@@ -136,15 +137,21 @@ mod tests {
 
     #[test]
     fn cover_remains_correct_on_random_functions() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(7);
+        // SplitMix64 keeps the test dependency-free and deterministic.
+        let mut state = 7u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
         for _ in 0..20 {
             let n = 4;
             let mut on_bits = Vec::new();
             let mut off_bits = Vec::new();
             for m in 0..(1u64 << n) {
-                match rng.gen_range(0..3) {
+                match next() % 3 {
                     0 => on_bits.push(m),
                     1 => off_bits.push(m),
                     _ => {}

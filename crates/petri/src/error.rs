@@ -44,7 +44,9 @@ pub enum PetriError {
 impl fmt::Display for PetriError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PetriError::EmptyNet => write!(f, "petri net must have at least one place and one transition"),
+            PetriError::EmptyNet => {
+                write!(f, "petri net must have at least one place and one transition")
+            }
             PetriError::UnknownNode { kind, index, count } => {
                 write!(f, "{kind} index {index} out of range (net has {count})")
             }

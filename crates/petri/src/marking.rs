@@ -113,8 +113,8 @@ mod tests {
         let m = Marking::from_places(10, [PlaceId::from(3), PlaceId::from(7)]);
         let marked: Vec<usize> = m.marked_places().map(|p| p.index()).collect();
         assert_eq!(marked, vec![3, 7]);
-        assert_eq!(m.to_bools()[3], true);
-        assert_eq!(m.to_bools()[4], false);
+        assert!(m.to_bools()[3]);
+        assert!(!m.to_bools()[4]);
         assert_eq!(format!("{m}"), "{p3,p7}");
     }
 

@@ -215,7 +215,8 @@ impl PetriNet {
     pub fn to_dot(&self) -> String {
         let mut out = String::from("digraph petri {\n  rankdir=LR;\n");
         for (i, name) in self.place_names.iter().enumerate() {
-            let marked = if self.initial.is_marked(PlaceId::from(i)) { ", style=filled" } else { "" };
+            let marked =
+                if self.initial.is_marked(PlaceId::from(i)) { ", style=filled" } else { "" };
             out.push_str(&format!("  p{i} [label=\"{name}\", shape=circle{marked}];\n"));
         }
         for (i, name) in self.trans_names.iter().enumerate() {

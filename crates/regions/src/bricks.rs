@@ -13,8 +13,7 @@
 //!    baseline may use).
 
 use crate::minimal::{minimal_post_regions, minimal_pre_regions, RegionConfig};
-use std::collections::HashSet;
-use ts::{EventId, StateSet, TransitionSystem};
+use ts::{EventId, SetDedup, StateSet, TransitionSystem};
 
 /// Provenance of a brick, kept for cost-function diagnostics.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -43,15 +42,15 @@ pub struct Brick {
 /// Bricks are deduplicated by their state set (the first provenance wins)
 /// and never include the empty set or the full state space.
 pub fn bricks(ts: &TransitionSystem, config: &RegionConfig) -> Vec<Brick> {
-    let mut seen: HashSet<StateSet> = HashSet::new();
+    let mut seen = SetDedup::default();
     let mut result: Vec<Brick> = Vec::new();
     let full = ts.num_states();
 
-    let push = |states: StateSet, kind: BrickKind, seen: &mut HashSet<StateSet>, out: &mut Vec<Brick>| {
+    let push = |states: StateSet, kind: BrickKind, seen: &mut SetDedup, out: &mut Vec<Brick>| {
         if states.is_empty() || states.len() == full {
             return;
         }
-        if seen.insert(states.clone()) {
+        if seen.insert(&states) {
             out.push(Brick { states, kind });
         }
     };
@@ -127,7 +126,7 @@ pub fn adjacent_bricks<'a>(
         }
     }
     all.iter()
-        .filter(|brick| !brick.states.is_subset(block) && !brick.states.is_disjoint(&neighbourhood))
+        .filter(|brick| !brick.states.is_subset(block) && brick.states.intersects(&neighbourhood))
         .collect()
 }
 

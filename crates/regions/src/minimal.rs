@@ -87,7 +87,10 @@ pub fn minimal_regions(ts: &TransitionSystem, config: &RegionConfig) -> Vec<Stat
     let mut result = Vec::new();
     for e in 0..ts.num_events() {
         let e = EventId::from(e);
-        for r in minimal_pre_regions(ts, e, config).into_iter().chain(minimal_post_regions(ts, e, config)) {
+        for r in minimal_pre_regions(ts, e, config)
+            .into_iter()
+            .chain(minimal_post_regions(ts, e, config))
+        {
             if seen.insert(r.clone()) {
                 result.push(r);
             }
@@ -126,7 +129,9 @@ fn expand(
     let mut stack: Vec<StateSet> = vec![seed];
 
     while let Some(set) = stack.pop() {
-        if results.len() >= config.max_regions_per_seed || visited.len() >= config.max_visited_per_seed {
+        if results.len() >= config.max_regions_per_seed
+            || visited.len() >= config.max_visited_per_seed
+        {
             break;
         }
         if set.len() == full || !visited.insert(set.clone()) {

@@ -47,7 +47,11 @@ impl fmt::Display for SynthesisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SynthesisError::NotExcitationClosed { events } => {
-                write!(f, "transition system is not excitation closed for events: {}", events.join(", "))
+                write!(
+                    f,
+                    "transition system is not excitation closed for events: {}",
+                    events.join(", ")
+                )
             }
             SynthesisError::Net(e) => write!(f, "net construction failed: {e}"),
         }
@@ -97,7 +101,10 @@ pub fn excitation_closure_failures(ts: &TransitionSystem, config: &RegionConfig)
 /// Returns [`SynthesisError::NotExcitationClosed`] if the transition system
 /// is not excitation closed (an exact net would need label splitting), or a
 /// [`SynthesisError::Net`] if the net construction itself fails.
-pub fn synthesize_net(ts: &TransitionSystem, config: &RegionConfig) -> Result<SynthesizedNet, SynthesisError> {
+pub fn synthesize_net(
+    ts: &TransitionSystem,
+    config: &RegionConfig,
+) -> Result<SynthesizedNet, SynthesisError> {
     let failures = excitation_closure_failures(ts, config);
     if !failures.is_empty() {
         return Err(SynthesisError::NotExcitationClosed {
@@ -236,10 +243,7 @@ mod tests {
         let synth = synthesize_net(&ts, &config).unwrap();
         for (i, region) in synth.place_regions.iter().enumerate() {
             let place = synth.net.place_id(&format!("r{i}")).unwrap();
-            assert_eq!(
-                synth.net.initial_marking().is_marked(place),
-                region.contains(ts.initial()),
-            );
+            assert_eq!(synth.net.initial_marking().is_marked(place), region.contains(ts.initial()),);
         }
     }
 

@@ -326,8 +326,7 @@ mod tests {
     fn sequencer_conflict_count_grows_quadratically() {
         let sg = sequencer(4).state_graph(10_000).unwrap();
         let groups = sg.states_by_code();
-        let clash_states: usize =
-            groups.values().filter(|v| v.len() > 1).map(|v| v.len()).sum();
+        let clash_states: usize = groups.values().filter(|v| v.len() > 1).map(|v| v.len()).sum();
         assert!(clash_states >= 4);
     }
 

@@ -46,7 +46,10 @@ impl fmt::Display for StgError {
                 write!(f, "inconsistent labelling: signal '{signal}' has contradictory values in state {state}")
             }
             StgError::TooManySignals { count } => {
-                write!(f, "the state-coding engine supports at most 64 signals, the STG has {count}")
+                write!(
+                    f,
+                    "the state-coding engine supports at most 64 signals, the STG has {count}"
+                )
             }
             StgError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
             StgError::UnknownName { name } => write!(f, "unknown signal or transition '{name}'"),

@@ -71,7 +71,9 @@ impl Stg {
         for label in &labels {
             if let TransitionLabel::Edge { signal, .. } = label {
                 if signal.index() >= signals.len() {
-                    return Err(StgError::UnknownName { name: format!("signal #{}", signal.index()) });
+                    return Err(StgError::UnknownName {
+                        name: format!("signal #{}", signal.index()),
+                    });
                 }
             }
         }

@@ -387,11 +387,8 @@ a- a+
 ";
         let stg = parse_g(text).unwrap();
         assert_eq!(stg.net().num_transitions(), 3);
-        let dummy_count = stg
-            .labels()
-            .iter()
-            .filter(|l| matches!(l, TransitionLabel::Dummy))
-            .count();
+        let dummy_count =
+            stg.labels().iter().filter(|l| matches!(l, TransitionLabel::Dummy)).count();
         assert_eq!(dummy_count, 1);
     }
 

@@ -52,10 +52,10 @@ impl Stg {
         let mut value = vec![0u64; num_states];
 
         let set_bit = |state: StateId,
-                           signal: usize,
-                           bit: bool,
-                           known: &mut Vec<u64>,
-                           value: &mut Vec<u64>|
+                       signal: usize,
+                       bit: bool,
+                       known: &mut Vec<u64>,
+                       value: &mut Vec<u64>|
          -> Result<bool, StgError> {
             let mask = 1u64 << signal;
             let s = state.index();
@@ -82,53 +82,61 @@ impl Stg {
         // anchored to 0 in the initial state and propagation is re-run.
         loop {
             loop {
-            let mut changed = false;
-            for t in rg.ts.transitions() {
-                let label = event_labels[t.event.index()];
-                let (switching, polarity) = match label {
-                    TransitionLabel::Edge { signal, polarity } => (Some(signal), Some(polarity)),
-                    TransitionLabel::Dummy => (None, None),
-                };
-                for sig in 0..num_signals {
-                    let mask = 1u64 << sig;
-                    if switching == Some(SignalId::from(sig)) {
-                        match polarity.expect("edge label has a polarity") {
-                            Polarity::Rise => {
-                                changed |= set_bit(t.source, sig, false, &mut known, &mut value)?;
-                                changed |= set_bit(t.target, sig, true, &mut known, &mut value)?;
-                            }
-                            Polarity::Fall => {
-                                changed |= set_bit(t.source, sig, true, &mut known, &mut value)?;
-                                changed |= set_bit(t.target, sig, false, &mut known, &mut value)?;
-                            }
-                            Polarity::Toggle => {
-                                if known[t.source.index()] & mask != 0 {
-                                    let v = value[t.source.index()] & mask != 0;
-                                    changed |= set_bit(t.target, sig, !v, &mut known, &mut value)?;
-                                }
-                                if known[t.target.index()] & mask != 0 {
-                                    let v = value[t.target.index()] & mask != 0;
-                                    changed |= set_bit(t.source, sig, !v, &mut known, &mut value)?;
-                                }
-                            }
+                let mut changed = false;
+                for t in rg.ts.transitions() {
+                    let label = event_labels[t.event.index()];
+                    let (switching, polarity) = match label {
+                        TransitionLabel::Edge { signal, polarity } => {
+                            (Some(signal), Some(polarity))
                         }
-                    } else {
-                        // The signal does not switch: the value is copied in
-                        // both directions.
-                        if known[t.source.index()] & mask != 0 {
-                            let v = value[t.source.index()] & mask != 0;
-                            changed |= set_bit(t.target, sig, v, &mut known, &mut value)?;
-                        }
-                        if known[t.target.index()] & mask != 0 {
-                            let v = value[t.target.index()] & mask != 0;
-                            changed |= set_bit(t.source, sig, v, &mut known, &mut value)?;
+                        TransitionLabel::Dummy => (None, None),
+                    };
+                    for sig in 0..num_signals {
+                        let mask = 1u64 << sig;
+                        if switching == Some(SignalId::from(sig)) {
+                            match polarity.expect("edge label has a polarity") {
+                                Polarity::Rise => {
+                                    changed |=
+                                        set_bit(t.source, sig, false, &mut known, &mut value)?;
+                                    changed |=
+                                        set_bit(t.target, sig, true, &mut known, &mut value)?;
+                                }
+                                Polarity::Fall => {
+                                    changed |=
+                                        set_bit(t.source, sig, true, &mut known, &mut value)?;
+                                    changed |=
+                                        set_bit(t.target, sig, false, &mut known, &mut value)?;
+                                }
+                                Polarity::Toggle => {
+                                    if known[t.source.index()] & mask != 0 {
+                                        let v = value[t.source.index()] & mask != 0;
+                                        changed |=
+                                            set_bit(t.target, sig, !v, &mut known, &mut value)?;
+                                    }
+                                    if known[t.target.index()] & mask != 0 {
+                                        let v = value[t.target.index()] & mask != 0;
+                                        changed |=
+                                            set_bit(t.source, sig, !v, &mut known, &mut value)?;
+                                    }
+                                }
+                            }
+                        } else {
+                            // The signal does not switch: the value is copied in
+                            // both directions.
+                            if known[t.source.index()] & mask != 0 {
+                                let v = value[t.source.index()] & mask != 0;
+                                changed |= set_bit(t.target, sig, v, &mut known, &mut value)?;
+                            }
+                            if known[t.target.index()] & mask != 0 {
+                                let v = value[t.target.index()] & mask != 0;
+                                changed |= set_bit(t.source, sig, v, &mut known, &mut value)?;
+                            }
                         }
                     }
                 }
-            }
-            if !changed {
-                break;
-            }
+                if !changed {
+                    break;
+                }
             }
 
             // Anchor any signal whose value is still undetermined in the

@@ -62,7 +62,11 @@ impl Stg {
         let num_places = net.num_places();
         let num_signals = if with_codes { self.num_signals() } else { 0 };
         let num_vars = num_places + num_signals;
-        let mut m = BddManager::new(num_vars.max(1));
+        // Pre-size the arena and unique table: reachability fixpoints build
+        // nodes monotonically, and sizing up front avoids growth rehashing
+        // in the middle of the image iteration.
+        let mut m =
+            BddManager::with_capacity(num_vars.max(1), (num_vars.max(8) * 512).min(1 << 20));
 
         // Initial state cube: the exact initial marking (and code).
         let mut initial_lits: Vec<(VarId, bool)> = (0..num_places)
@@ -75,18 +79,28 @@ impl Stg {
         }
         let mut reachable = m.cube_of(&initial_lits);
 
-        // Precompute per-transition data.
+        // Precompute per-transition image operators *once*: the enabling
+        // cube (marked preset plus the signal's pre-value), the set of
+        // variables the firing changes, and the cube pinning their
+        // post-values.  A toggle edge (`a~`) flips its code bit, which a
+        // quantify-and-pin operator cannot express in one step, so it
+        // expands into two branches — one per current bit value.  The
+        // fixpoint loop below then performs only and/exists/or work per
+        // branch per iteration instead of rebuilding the same cubes every
+        // round.
         struct TransImage {
-            enabled_places: Vec<VarId>,
-            cleared: Vec<VarId>,
-            set: Vec<VarId>,
-            signal_var: Option<(VarId, Polarity)>,
+            enabled_cube: Bdd,
+            changed: Vec<VarId>,
+            pin_cube: Bdd,
         }
+        /// One literal constraining a code bit (`None` = unconstrained).
+        type CodeLit = Option<(VarId, bool)>;
         let images: Vec<TransImage> = (0..net.num_transitions())
-            .map(|t| {
+            .flat_map(|t| {
                 let t_id = TransId::from(t);
                 let pre: Vec<VarId> = net.preset(t_id).iter().map(|p| p.index() as VarId).collect();
-                let post: Vec<VarId> = net.postset(t_id).iter().map(|p| p.index() as VarId).collect();
+                let post: Vec<VarId> =
+                    net.postset(t_id).iter().map(|p| p.index() as VarId).collect();
                 let cleared: Vec<VarId> =
                     pre.iter().copied().filter(|v| !post.contains(v)).collect();
                 let set: Vec<VarId> = post.iter().copied().filter(|v| !pre.contains(v)).collect();
@@ -100,7 +114,48 @@ impl Stg {
                 } else {
                     None
                 };
-                TransImage { enabled_places: pre, cleared, set, signal_var }
+                let enabled_lits: Vec<(VarId, bool)> = pre.iter().map(|&v| (v, true)).collect();
+                let mut changed: Vec<VarId> = cleared.clone();
+                changed.extend(&set);
+                let mut pinned: Vec<(VarId, bool)> = Vec::new();
+                pinned.extend(cleared.iter().map(|&v| (v, false)));
+                pinned.extend(set.iter().map(|&v| (v, true)));
+                // (signal pre-value, signal post-value) per branch.
+                let code_branches: Vec<(CodeLit, CodeLit)> = match signal_var {
+                    Some((var, Polarity::Rise)) => {
+                        vec![(Some((var, false)), Some((var, true)))]
+                    }
+                    Some((var, Polarity::Fall)) => {
+                        vec![(Some((var, true)), Some((var, false)))]
+                    }
+                    // A toggle fires from either value and lands on the
+                    // opposite one.
+                    Some((var, Polarity::Toggle)) => vec![
+                        (Some((var, false)), Some((var, true))),
+                        (Some((var, true)), Some((var, false))),
+                    ],
+                    None => vec![(None, None)],
+                };
+                code_branches
+                    .into_iter()
+                    .map(|(pre_lit, post_lit)| {
+                        let mut enabled_lits = enabled_lits.clone();
+                        let mut changed = changed.clone();
+                        let mut pinned = pinned.clone();
+                        if let Some(lit) = pre_lit {
+                            enabled_lits.push(lit);
+                            changed.push(lit.0);
+                        }
+                        if let Some(lit) = post_lit {
+                            pinned.push(lit);
+                        }
+                        TransImage {
+                            enabled_cube: m.cube_of(&enabled_lits),
+                            changed,
+                            pin_cube: m.cube_of(&pinned),
+                        }
+                    })
+                    .collect::<Vec<_>>()
             })
             .collect();
 
@@ -109,50 +164,16 @@ impl Stg {
         for _ in 0..limit {
             let mut next = reachable;
             for img in &images {
-                // States where the transition is enabled.
-                let enabled_lits: Vec<(VarId, bool)> =
-                    img.enabled_places.iter().map(|&v| (v, true)).collect();
-                let enabled_cube = m.cube_of(&enabled_lits);
-                let mut firing = m.and(reachable, enabled_cube);
+                // States where the transition is enabled (with the signal
+                // pre-value already folded into the cube).
+                let firing = m.and(reachable, img.enabled_cube);
                 if firing.is_false() {
                     continue;
                 }
-                // Constrain / update the signal code bit.
-                if let Some((var, polarity)) = img.signal_var {
-                    match polarity {
-                        Polarity::Rise => {
-                            let lit = m.nvar(var);
-                            firing = m.and(firing, lit);
-                        }
-                        Polarity::Fall => {
-                            let lit = m.var(var);
-                            firing = m.and(firing, lit);
-                        }
-                        Polarity::Toggle => {}
-                    }
-                }
                 // Quantify away every variable the firing changes, then pin
                 // the new values.
-                let mut changed: Vec<VarId> = img.cleared.clone();
-                changed.extend(&img.set);
-                if let Some((var, polarity)) = img.signal_var {
-                    if polarity != Polarity::Toggle {
-                        changed.push(var);
-                    }
-                }
-                let mut successor = m.exists_many(firing, &changed);
-                let mut pinned: Vec<(VarId, bool)> = Vec::new();
-                pinned.extend(img.cleared.iter().map(|&v| (v, false)));
-                pinned.extend(img.set.iter().map(|&v| (v, true)));
-                if let Some((var, polarity)) = img.signal_var {
-                    match polarity {
-                        Polarity::Rise => pinned.push((var, true)),
-                        Polarity::Fall => pinned.push((var, false)),
-                        Polarity::Toggle => {}
-                    }
-                }
-                let pin_cube = m.cube_of(&pinned);
-                successor = m.and(successor, pin_cube);
+                let mut successor = m.exists_many(firing, &img.changed);
+                successor = m.and(successor, img.pin_cube);
                 next = m.or(next, successor);
             }
             if next == reachable {
@@ -287,6 +308,29 @@ mod tests {
         // Each of the 6 markings has exactly one code, so the encoded space
         // also has 6 states.
         assert_eq!(space.state_count(), 6);
+    }
+
+    #[test]
+    fn toggle_edges_flip_their_code_bit_symbolically() {
+        use crate::{Polarity, SignalKind, StgBuilder};
+        // c~ / d+ / c~ / d- ring: the same shape the explicit engine's
+        // toggle test uses; c alternates 0,1,0,1 around the cycle.
+        let mut b = StgBuilder::new("toggle");
+        let c = b.add_signal("c", SignalKind::Output);
+        let d = b.add_signal("d", SignalKind::Output);
+        let c1 = b.add_edge(c, Polarity::Toggle);
+        let dp = b.add_edge(d, Polarity::Rise);
+        let c2 = b.add_edge(c, Polarity::Toggle);
+        let dm = b.add_edge(d, Polarity::Fall);
+        b.connect_cycle(&[c1, dp, c2, dm]);
+        let stg = b.build().unwrap();
+        let sg = stg.state_graph(100).unwrap();
+        assert_eq!(sg.num_states(), 4);
+        // The symbolic (marking, code) space must agree with the explicit
+        // graph: 4 markings, each with a distinct code (c toggles).
+        let space = stg.symbolic_encoded_state_space(0, None);
+        assert!(space.converged);
+        assert_eq!(space.state_count(), sg.num_states() as u128);
     }
 
     #[test]

@@ -28,10 +28,9 @@ impl fmt::Display for TsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TsError::EmptySystem => write!(f, "transition system has no states"),
-            TsError::UnknownState { index, num_states } => write!(
-                f,
-                "state index {index} out of range for a system with {num_states} states"
-            ),
+            TsError::UnknownState { index, num_states } => {
+                write!(f, "state index {index} out of range for a system with {num_states} states")
+            }
             TsError::EmptyEventName => write!(f, "event label must not be empty"),
             TsError::DegenerateInsertionSet => {
                 write!(f, "insertion set must be a non-empty strict subset of the states")

@@ -66,5 +66,5 @@ pub use error::TsError;
 pub use ids::{EventId, StateId};
 pub use insertion::{insert_event, InsertionOutcome, InsertionStyle};
 pub use properties::{CommutativityViolation, DeterminismViolation, PersistencyViolation};
-pub use state_set::StateSet;
+pub use state_set::{SetDedup, StateSet};
 pub use system::{Transition, TransitionSystem};

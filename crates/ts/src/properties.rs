@@ -167,10 +167,7 @@ impl TransitionSystem {
 
     /// All events that are persistent in the whole system.
     pub fn persistent_events(&self) -> Vec<EventId> {
-        (0..self.num_events())
-            .map(EventId::from)
-            .filter(|&e| self.is_persistent(e))
-            .collect()
+        (0..self.num_events()).map(EventId::from).filter(|&e| self.is_persistent(e)).collect()
     }
 }
 

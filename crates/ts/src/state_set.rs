@@ -1,7 +1,9 @@
 //! Dense bit-sets over the states of a transition system.
 
 use crate::StateId;
+use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const WORD_BITS: usize = 64;
 
@@ -36,10 +38,7 @@ pub struct StateSet {
 impl StateSet {
     /// Creates an empty set able to hold states `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        StateSet {
-            words: vec![0; capacity.div_ceil(WORD_BITS)],
-            capacity,
-        }
+        StateSet { words: vec![0; capacity.div_ceil(WORD_BITS)], capacity }
     }
 
     /// Creates a set containing every state in `0..capacity`.
@@ -190,6 +189,61 @@ impl StateSet {
         self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
     }
 
+    /// Returns `true` if `self` and `other` share at least one state.
+    ///
+    /// Word-parallel; short-circuits on the first overlapping word, so it is
+    /// the preferred form of `!a.is_disjoint(&b)` on hot paths.
+    #[inline]
+    pub fn intersects(&self, other: &StateSet) -> bool {
+        self.check_compat(other);
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// `|self ∩ other|` without materialising the intersection.
+    pub fn intersection_count(&self, other: &StateSet) -> usize {
+        self.check_compat(other);
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
+    }
+
+    /// `|self \ other|` without materialising the difference.
+    pub fn difference_count(&self, other: &StateSet) -> usize {
+        self.check_compat(other);
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & !b).count_ones() as usize).sum()
+    }
+
+    /// `|self ∪ other|` without materialising the union.
+    pub fn union_count(&self, other: &StateSet) -> usize {
+        self.check_compat(other);
+        self.words.iter().zip(&other.words).map(|(a, b)| (a | b).count_ones() as usize).sum()
+    }
+
+    /// Complements the set in place with respect to the full state universe.
+    pub fn complement_in_place(&mut self) {
+        for word in self.words.iter_mut() {
+            *word = !*word;
+        }
+        self.trim();
+    }
+
+    /// A 64-bit content fingerprint (FxHash-style word fold).
+    ///
+    /// Two equal sets always have equal fingerprints; the converse holds up
+    /// to hash collisions, so deduplication layers use the fingerprint as a
+    /// bucket key and confirm with `==`.  Folding the words directly is much
+    /// cheaper than feeding them through a streaming `Hasher`.
+    ///
+    /// The canonical definition of this fold is `bdd::hash::fx_combine`;
+    /// it is restated here because `ts` sits below `bdd` in the dependency
+    /// order — keep the two in sync.
+    pub fn fingerprint(&self) -> u64 {
+        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        let mut hash = self.capacity as u64;
+        for &word in &self.words {
+            hash = (hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+        }
+        hash
+    }
+
     /// Returns `true` if every state of `self` is in `other`.
     pub fn is_subset(&self, other: &StateSet) -> bool {
         self.check_compat(other);
@@ -203,11 +257,7 @@ impl StateSet {
 
     /// Iterates over the states in the set in increasing index order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter {
-            set: self,
-            word_index: 0,
-            current: self.words.first().copied().unwrap_or(0),
-        }
+        Iter { set: self, word_index: 0, current: self.words.first().copied().unwrap_or(0) }
     }
 
     /// Returns an arbitrary state of the set (the smallest index), if any.
@@ -230,6 +280,55 @@ impl StateSet {
                 *last &= (1u64 << rem) - 1;
             }
         }
+    }
+}
+
+/// Hasher that passes a single `u64` through unchanged — for maps whose
+/// keys are already well-mixed hashes (like [`StateSet::fingerprint`]).
+#[derive(Default)]
+struct PassThroughHasher(u64);
+
+impl Hasher for PassThroughHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("PassThroughHasher only accepts u64 keys");
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+/// Deduplicates state sets by their precomputed [`StateSet::fingerprint`].
+///
+/// Region and search layers generate thousands of candidate sets, most of
+/// them repeats.  The bit vector is folded into a 64-bit key once per
+/// candidate instead of being re-hashed on every table probe, and equality
+/// inside a bucket confirms, so a fingerprint collision costs one
+/// comparison and can never drop a genuinely new set.  Candidates are only
+/// cloned once known to be new.
+#[derive(Default)]
+pub struct SetDedup {
+    buckets: HashMap<u64, Vec<StateSet>, BuildHasherDefault<PassThroughHasher>>,
+}
+
+impl SetDedup {
+    /// Creates an empty deduplicator.
+    pub fn new() -> Self {
+        SetDedup::default()
+    }
+
+    /// Records `set`; returns `true` when it was not seen before.
+    pub fn insert(&mut self, set: &StateSet) -> bool {
+        let bucket = self.buckets.entry(set.fingerprint()).or_default();
+        if bucket.iter().any(|seen| seen == set) {
+            return false;
+        }
+        bucket.push(set.clone());
+        true
     }
 }
 
@@ -394,5 +493,79 @@ mod tests {
     fn display_formats_members() {
         let s = set(10, &[1, 3]);
         assert_eq!(format!("{s}"), "{s1, s3}");
+    }
+
+    #[test]
+    fn capacity_zero_is_a_valid_empty_universe() {
+        let e = StateSet::new(0);
+        let f = StateSet::full(0);
+        assert_eq!(e, f, "the empty universe has exactly one set");
+        assert!(e.is_empty());
+        assert_eq!(f.len(), 0);
+        assert_eq!(e.union(&f), e);
+        assert_eq!(e.complement(), e);
+        assert!(e.is_subset(&f));
+        assert!(!e.intersects(&f));
+        assert_eq!(e.iter().count(), 0);
+        assert_eq!(e.first(), None);
+        assert_eq!(e.intersection_count(&f), 0);
+    }
+
+    #[test]
+    fn full_trims_tail_bits_on_unaligned_capacities() {
+        // One bit shy of a word boundary, one bit past it, and mid-word.
+        for capacity in [1, 63, 64, 65, 127, 128, 129, 190] {
+            let f = StateSet::full(capacity);
+            assert_eq!(f.len(), capacity, "capacity {capacity}");
+            // The tail bits beyond `capacity` must be zero, otherwise word
+            // counts and equality would silently diverge.
+            assert!(f.iter().all(|s| s.index() < capacity), "capacity {capacity}");
+            assert_eq!(f.iter().count(), capacity, "capacity {capacity}");
+            // Complement of full is empty — only true with a trimmed tail.
+            assert!(f.complement().is_empty(), "capacity {capacity}");
+            assert_eq!(f, f.complement().complement(), "capacity {capacity}");
+        }
+    }
+
+    #[test]
+    fn complement_in_place_matches_out_of_place() {
+        for capacity in [0, 1, 65, 100] {
+            let members: Vec<u32> = (0..capacity as u32).step_by(3).collect();
+            let a = set(capacity, &members);
+            let mut b = a.clone();
+            b.complement_in_place();
+            assert_eq!(b, a.complement(), "capacity {capacity}");
+            b.complement_in_place();
+            assert_eq!(b, a, "involution at capacity {capacity}");
+        }
+    }
+
+    #[test]
+    fn counting_ops_agree_with_materialised_sets() {
+        let a = set(130, &[0, 63, 64, 65, 128, 129]);
+        let b = set(130, &[63, 65, 70, 129]);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection_count(&b), a.intersection(&b).len());
+        assert_eq!(a.difference_count(&b), a.difference(&b).len());
+        assert_eq!(b.difference_count(&a), b.difference(&a).len());
+        assert_eq!(a.union_count(&b), a.union(&b).len());
+        let disjoint = set(130, &[1, 2]);
+        assert!(!a.intersects(&disjoint));
+        assert_eq!(a.difference_count(&disjoint), a.len());
+    }
+
+    #[test]
+    fn fingerprints_track_content_not_identity() {
+        let a = set(100, &[5, 50, 99]);
+        let b = set(100, &[5, 50, 99]);
+        let c = set(100, &[5, 50]);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "equal sets, equal fingerprints");
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Same bit pattern over a different universe is a different set.
+        let d = set(101, &[5, 50, 99]);
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        let mut e = a.clone();
+        e.remove(StateId(99));
+        assert_eq!(e.fingerprint(), c.fingerprint());
     }
 }

@@ -175,10 +175,7 @@ impl TransitionSystem {
     /// The unique successor of `state` under `event`, if the system is
     /// deterministic for that pair.  Returns the first match otherwise.
     pub fn successor(&self, state: StateId, event: EventId) -> Option<StateId> {
-        self.succ[state.index()]
-            .iter()
-            .find(|&&(e, _)| e == event)
-            .map(|&(_, t)| t)
+        self.succ[state.index()].iter().find(|&&(e, _)| e == event).map(|&(_, t)| t)
     }
 
     /// Set of all states where `event` is enabled (the *excitation set*).
@@ -225,8 +222,7 @@ impl TransitionSystem {
             component.insert(seed);
             remaining.remove(seed);
             while let Some(s) = queue.pop_front() {
-                let neighbours = self
-                    .succ[s.index()]
+                let neighbours = self.succ[s.index()]
                     .iter()
                     .map(|&(_, t)| t)
                     .chain(self.pred[s.index()].iter().map(|&(_, p)| p));
@@ -299,10 +295,8 @@ impl TransitionSystem {
             new_of_old[old.index()] = Some(StateId::from(old_of_new.len()));
             old_of_new.push(old);
         }
-        let state_names = old_of_new
-            .iter()
-            .map(|&old| self.state_names[old.index()].clone())
-            .collect();
+        let state_names =
+            old_of_new.iter().map(|&old| self.state_names[old.index()].clone()).collect();
         let transitions = self
             .transitions
             .iter()

@@ -45,7 +45,11 @@ fn observable_step(
     silent_closure(ts, &next, hidden)
 }
 
-fn observable_labels(ts: &TransitionSystem, current: &Macro, hidden: &[EventId]) -> BTreeSet<String> {
+fn observable_labels(
+    ts: &TransitionSystem,
+    current: &Macro,
+    hidden: &[EventId],
+) -> BTreeSet<String> {
     let mut labels = BTreeSet::new();
     for &s in current {
         for &(e, _) in ts.successors(s) {
@@ -140,7 +144,11 @@ pub fn trace_inclusion_witness(
 
 /// Enumerates every observable trace of `ts` up to length `depth`, hiding
 /// the given labels.  Intended for small systems and tests.
-pub fn traces_up_to(ts: &TransitionSystem, depth: usize, hidden_labels: &[&str]) -> BTreeSet<Vec<String>> {
+pub fn traces_up_to(
+    ts: &TransitionSystem,
+    depth: usize,
+    hidden_labels: &[&str],
+) -> BTreeSet<Vec<String>> {
     let hidden = hidden_ids(ts, hidden_labels);
     let mut result = BTreeSet::new();
     result.insert(Vec::new());
@@ -235,7 +243,9 @@ mod tests {
         b.add_transition(s0, "a", s1);
         let only_a = b.build(s0).unwrap();
         let witness = trace_inclusion_witness(&plain, &only_a, &[]).unwrap();
-        assert!(witness == vec!["b".to_string()] || witness == vec!["a".to_string(), "b".to_string()]);
+        assert!(
+            witness == vec!["b".to_string()] || witness == vec!["a".to_string(), "b".to_string()]
+        );
         assert!(trace_inclusion_witness(&only_a, &plain, &[]).is_none());
     }
 

@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("parsed '{}' with {} signals", model.name(), model.num_signals());
 
     let sg = model.state_graph(10_000)?;
-    println!("state graph: {} states, CSC holds: {}", sg.num_states(), sg.complete_state_coding_holds());
+    println!(
+        "state graph: {} states, CSC holds: {}",
+        sg.num_states(),
+        sg.complete_state_coding_holds()
+    );
 
     let solution = solve_stg(&model, &SolverConfig::default())?;
     println!("inserted signals: {:?}", solution.inserted_signals);

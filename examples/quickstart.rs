@@ -49,7 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ------------------------------------------------------------------
     let vme = stg::benchmarks::vme_read();
     let sg = vme.state_graph(10_000)?;
-    println!("\nVME read controller: {} states, CSC holds: {}", sg.num_states(), sg.complete_state_coding_holds());
+    println!(
+        "\nVME read controller: {} states, CSC holds: {}",
+        sg.num_states(),
+        sg.complete_state_coding_holds()
+    );
 
     let solution = solve_stg(&vme, &SolverConfig::default())?;
     println!(

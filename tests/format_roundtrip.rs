@@ -9,24 +9,12 @@ fn every_benchmark_round_trips_through_g_format() {
         let text = model.to_g();
         let reparsed = parse_g(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(model.num_signals(), reparsed.num_signals(), "{name}");
-        assert_eq!(
-            model.net().num_transitions(),
-            reparsed.net().num_transitions(),
-            "{name}"
-        );
+        assert_eq!(model.net().num_transitions(), reparsed.net().num_transitions(), "{name}");
         let sg1 = model.state_graph(500_000).unwrap();
         let sg2 = reparsed.state_graph(500_000).unwrap();
         assert_eq!(sg1.num_states(), sg2.num_states(), "{name}");
-        assert_eq!(
-            sg1.complete_state_coding_holds(),
-            sg2.complete_state_coding_holds(),
-            "{name}"
-        );
-        assert_eq!(
-            sg1.unique_state_coding_holds(),
-            sg2.unique_state_coding_holds(),
-            "{name}"
-        );
+        assert_eq!(sg1.complete_state_coding_holds(), sg2.complete_state_coding_holds(), "{name}");
+        assert_eq!(sg1.unique_state_coding_holds(), sg2.unique_state_coding_holds(), "{name}");
     }
 }
 
