@@ -14,9 +14,13 @@
 //!   guarantees canonicity, so function equality is handle equality,
 //! * [`Bdd`] is a cheap copyable handle (node index) into a manager,
 //! * binary operations go through a memoised Shannon-expansion `apply`,
-//! * quantification, substitution, restriction, satisfy-count and cube
-//!   enumeration are provided for the image computations used by symbolic
-//!   reachability.
+//! * set quantification (`exists_many`/`forall_many`) runs as one fused
+//!   recursion over a sorted variable cube, and the relational product
+//!   [`BddManager::and_exists`] conjoins and quantifies in a single pass
+//!   without materialising the intermediate conjunction — the image
+//!   operator symbolic reachability is built on,
+//! * restriction, satisfy-count, cube enumeration and memory/cache
+//!   statistics ([`BddManager::stats`]) round out the toolkit.
 //!
 //! # Example
 //!
@@ -41,5 +45,5 @@ mod node;
 
 pub use cubes::{Cube, CubeIter};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use manager::{Bdd, BddManager};
+pub use manager::{Bdd, BddManager, BddStats};
 pub use node::{NodeId, VarId};

@@ -18,10 +18,13 @@
 //!   This is what makes hash-consing canonical: `mk` returns an existing id
 //!   whenever the triple is already interned.
 //! * **Apply cache** — a bounded direct-mapped memo table keyed by
-//!   `(Op, NodeId, NodeId)` (negation uses `Op::Not` with both operands
-//!   equal).  Entries carry a generation tag: [`BddManager::clear_caches`]
-//!   invalidates every entry in O(1) by bumping the generation, and the
-//!   cache is re-sized (which also clears it) when the arena outgrows it.
+//!   `(Op, NodeId, NodeId, NodeId)`: binary connectives use two operands
+//!   (negation uses `Op::Not` with both operands equal), while the
+//!   quantifier recursions key the third slot with the variable cube and
+//!   the fused relational product `and_exists` uses all three.  Entries
+//!   carry a generation tag: [`BddManager::clear_caches`] invalidates
+//!   every entry in O(1) by bumping the generation, and the cache is
+//!   re-sized (which also clears it) when the arena outgrows it.
 //!   Collisions simply overwrite — stale results are only ever *missed*,
 //!   never returned, because the full key is stored and compared.
 //!
@@ -40,6 +43,7 @@
 
 use crate::hash::{fx_combine, FxHashMap, FxHashSet};
 use crate::node::{Node, NodeId, VarId, TERMINAL_VAR};
+use std::cell::RefCell;
 use std::fmt;
 
 /// A handle to a Boolean function stored in a [`BddManager`].
@@ -80,6 +84,14 @@ enum Op {
     Or = 1,
     Xor = 2,
     Not = 3,
+    /// `∃ cube. f` — keyed `(f, cube, -)`.
+    Exists = 4,
+    /// `∀ cube. f` — keyed `(f, cube, -)`.
+    Forall = 5,
+    /// `∃ cube. f ∧ g` — the fused relational product, keyed `(f, g, cube)`.
+    AndExists = 6,
+    /// Shift every odd variable down by one — keyed `(f, -, -)`.
+    Unprime = 7,
 }
 
 /// Sentinel for an empty unique-table slot (no node can have this id: the
@@ -174,21 +186,27 @@ impl UniqueTable {
 struct CacheEntry {
     a: u32,
     b: u32,
+    c: u32,
     result: u32,
     op: u8,
     generation: u32,
 }
 
-const EMPTY_ENTRY: CacheEntry = CacheEntry { a: 0, b: 0, result: 0, op: 0, generation: 0 };
+const EMPTY_ENTRY: CacheEntry = CacheEntry { a: 0, b: 0, c: 0, result: 0, op: 0, generation: 0 };
 
-/// Bounded direct-mapped memo table for `apply`/`not` results.
+/// Bounded direct-mapped memo table for `apply`/`not`/quantifier results.
 ///
-/// The live generation starts at 1 and empty entries carry generation 0, so
-/// a fresh table never produces hits.  `clear` bumps the generation instead
-/// of touching the entries; `resize` reallocates (implicitly clearing).
+/// Keys are `(op, a, b, c)` quadruples; binary and unary operations pass the
+/// `false` terminal for the unused operands (sound because `op` is part of
+/// the stored key).  The live generation starts at 1 and empty entries carry
+/// generation 0, so a fresh table never produces hits.  `clear` bumps the
+/// generation instead of touching the entries; `resize` reallocates
+/// (implicitly clearing).
 struct ApplyCache {
     entries: Vec<CacheEntry>,
     generation: u32,
+    hits: u64,
+    misses: u64,
 }
 
 /// Initial apply-cache size (entries; must be a power of two).
@@ -199,32 +217,53 @@ const APPLY_CACHE_MAX: usize = 1 << 20;
 impl ApplyCache {
     fn new(entries: usize) -> Self {
         debug_assert!(entries.is_power_of_two());
-        ApplyCache { entries: vec![EMPTY_ENTRY; entries], generation: 1 }
+        ApplyCache { entries: vec![EMPTY_ENTRY; entries], generation: 1, hits: 0, misses: 0 }
     }
 
     #[inline]
-    fn slot(&self, op: Op, a: NodeId, b: NodeId) -> usize {
-        let h = fx_combine(fx_combine(op as u64, a.0 as u64), b.0 as u64);
+    fn slot(&self, op: Op, a: NodeId, b: NodeId, c: NodeId) -> usize {
+        let h = fx_combine(fx_combine(fx_combine(op as u64, a.0 as u64), b.0 as u64), c.0 as u64);
         (h as usize) & (self.entries.len() - 1)
     }
 
     #[inline]
-    fn lookup(&self, op: Op, a: NodeId, b: NodeId) -> Option<NodeId> {
-        let e = &self.entries[self.slot(op, a, b)];
-        (e.generation == self.generation && e.op == op as u8 && e.a == a.0 && e.b == b.0)
-            .then_some(NodeId(e.result))
+    fn lookup3(&mut self, op: Op, a: NodeId, b: NodeId, c: NodeId) -> Option<NodeId> {
+        let e = &self.entries[self.slot(op, a, b, c)];
+        let hit = e.generation == self.generation
+            && e.op == op as u8
+            && e.a == a.0
+            && e.b == b.0
+            && e.c == c.0;
+        if hit {
+            self.hits += 1;
+            Some(NodeId(e.result))
+        } else {
+            self.misses += 1;
+            None
+        }
     }
 
     #[inline]
-    fn store(&mut self, op: Op, a: NodeId, b: NodeId, result: NodeId) {
-        let slot = self.slot(op, a, b);
+    fn lookup(&mut self, op: Op, a: NodeId, b: NodeId) -> Option<NodeId> {
+        self.lookup3(op, a, b, NodeId::FALSE)
+    }
+
+    #[inline]
+    fn store3(&mut self, op: Op, a: NodeId, b: NodeId, c: NodeId, result: NodeId) {
+        let slot = self.slot(op, a, b, c);
         self.entries[slot] = CacheEntry {
             a: a.0,
             b: b.0,
+            c: c.0,
             result: result.0,
             op: op as u8,
             generation: self.generation,
         };
+    }
+
+    #[inline]
+    fn store(&mut self, op: Op, a: NodeId, b: NodeId, result: NodeId) {
+        self.store3(op, a, b, NodeId::FALSE, result);
     }
 
     /// O(1) invalidation of every entry.
@@ -248,6 +287,44 @@ impl ApplyCache {
     }
 }
 
+/// Reusable traversal state for the read-only analyses (`sat_count`,
+/// `sat_count_f64`, `size`, `support`).
+///
+/// The satisfy-count memos are *persistent*: a node's count depends only on
+/// its (immutable) sub-DAG, so entries stay valid for the life of the
+/// manager and repeated counts over a growing reachable set share work.
+/// The visited set and stack are per-call scratch whose allocations are
+/// retained between calls.
+#[derive(Default)]
+struct TraversalScratch {
+    sat_u128: FxHashMap<NodeId, u128>,
+    sat_f64: FxHashMap<NodeId, f64>,
+    visited: FxHashSet<NodeId>,
+    stack: Vec<NodeId>,
+}
+
+/// A point-in-time snapshot of a manager's memory and cache behaviour.
+///
+/// Returned by [`BddManager::stats`]; the bench harness records these next
+/// to wall-clock numbers so perf baselines capture space as well as time.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct BddStats {
+    /// Nodes currently in the arena (including the two terminals).
+    pub num_nodes: usize,
+    /// High-water mark of the arena.  Nodes are never freed today, so this
+    /// equals `num_nodes`; it is a separate field so the bench schema
+    /// survives a future garbage collector.
+    pub peak_nodes: usize,
+    /// Interned (non-terminal) nodes in the unique table.
+    pub unique_entries: usize,
+    /// Capacity of the operation cache, in entries.
+    pub cache_entries: usize,
+    /// Operation-cache lookups that returned a memoised result.
+    pub cache_hits: u64,
+    /// Operation-cache lookups that missed (and recomputed).
+    pub cache_misses: u64,
+}
+
 /// Owner of all BDD nodes, the unique table and the operation cache.
 ///
 /// The number of variables is fixed at construction; variables are indexed
@@ -258,6 +335,7 @@ pub struct BddManager {
     unique: UniqueTable,
     cache: ApplyCache,
     num_vars: usize,
+    scratch: RefCell<TraversalScratch>,
 }
 
 impl BddManager {
@@ -285,6 +363,7 @@ impl BddManager {
             unique: UniqueTable::with_node_capacity(node_capacity),
             cache: ApplyCache::new(APPLY_CACHE_MIN),
             num_vars,
+            scratch: RefCell::new(TraversalScratch::default()),
         }
     }
 
@@ -295,13 +374,29 @@ impl BddManager {
         self.unique.reserve_for(self.nodes.len() + additional, &self.nodes);
     }
 
-    /// Invalidates the operation cache in O(1) (generation bump).
+    /// Invalidates the operation cache in O(1) (generation bump) and drops
+    /// the persistent satisfy-count memos.
     ///
     /// Results computed afterwards are re-derived through `mk`, so handles
     /// stay canonical across clears; only memoisation is lost.  Useful
     /// between phases whose operand sets do not overlap.
     pub fn clear_caches(&mut self) {
         self.cache.clear();
+        let scratch = self.scratch.get_mut();
+        scratch.sat_u128.clear();
+        scratch.sat_f64.clear();
+    }
+
+    /// Snapshot of node counts and operation-cache behaviour.
+    pub fn stats(&self) -> BddStats {
+        BddStats {
+            num_nodes: self.nodes.len(),
+            peak_nodes: self.nodes.len(),
+            unique_entries: self.unique.len,
+            cache_entries: self.cache.entries.len(),
+            cache_hits: self.cache.hits,
+            cache_misses: self.cache.misses,
+        }
     }
 
     /// Number of variables of this manager.
@@ -534,7 +629,9 @@ impl BddManager {
                     return f;
                 }
             }
-            Op::Not => unreachable!("negation goes through not_rec"),
+            Op::Not | Op::Exists | Op::Forall | Op::AndExists | Op::Unprime => {
+                unreachable!("apply only handles the binary Boolean connectives")
+            }
         }
         // Normalise commutative operands for better cache hit rates.
         let (a, b) = if f <= g { (f, g) } else { (g, f) };
@@ -601,36 +698,254 @@ impl BddManager {
         r
     }
 
+    /// Builds the positive cube `v₀ ∧ v₁ ∧ …` identifying a quantification
+    /// set.  The input may be unsorted and contain duplicates.
+    ///
+    /// The cube doubles as the memo key for the quantifier recursions, so
+    /// callers that quantify the same set repeatedly (fixpoint loops) should
+    /// build it once and reuse it through [`Self::exists_cube`],
+    /// [`Self::forall_cube`] and [`Self::and_exists_with`].
+    pub fn quant_cube(&mut self, vars: &[VarId]) -> Bdd {
+        let mut sorted: Vec<VarId> = vars.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let lits: Vec<(VarId, bool)> = sorted.into_iter().map(|v| (v, true)).collect();
+        self.cube_of(&lits)
+    }
+
+    /// Returns `true` if `f` is a conjunction of positive literals (the
+    /// shape [`Self::quant_cube`] produces); the constant `true` is the
+    /// empty cube.
+    pub fn is_quant_cube(&self, f: Bdd) -> bool {
+        let mut cur = f.0;
+        while !cur.is_terminal() {
+            let n = self.node(cur);
+            if n.low != NodeId::FALSE {
+                return false;
+            }
+            cur = n.high;
+        }
+        cur == NodeId::TRUE
+    }
+
     /// Existential quantification of a single variable.
     pub fn exists(&mut self, f: Bdd, var: VarId) -> Bdd {
-        let f0 = self.restrict(f, var, false);
-        let f1 = self.restrict(f, var, true);
-        self.or(f0, f1)
+        self.exists_many(f, &[var])
     }
 
     /// Existential quantification of a set of variables.
+    ///
+    /// One fused recursion over the whole (sorted, deduplicated) set — not a
+    /// per-variable loop — so shared sub-DAGs are traversed once and no
+    /// intermediate one-variable results are materialised.
     pub fn exists_many(&mut self, f: Bdd, vars: &[VarId]) -> Bdd {
-        let mut acc = f;
-        for &v in vars {
-            acc = self.exists(acc, v);
+        let cube = self.quant_cube(vars);
+        self.exists_cube(f, cube)
+    }
+
+    /// Existential quantification over a prebuilt [`Self::quant_cube`].
+    pub fn exists_cube(&mut self, f: Bdd, cube: Bdd) -> Bdd {
+        debug_assert!(self.is_quant_cube(cube), "quantifier cube must be positive literals");
+        Bdd(self.exists_rec(f.0, cube.0))
+    }
+
+    fn exists_rec(&mut self, f: NodeId, mut cube: NodeId) -> NodeId {
+        // Quantifying a variable `f` does not depend on is a no-op: skip
+        // cube levels above `f`'s root.  Terminals report TERMINAL_VAR, so
+        // this also drains the cube when `f` is constant.
+        let vf = self.var_of(f);
+        while cube != NodeId::TRUE && self.var_of(cube) < vf {
+            cube = self.node(cube).high;
         }
-        acc
+        if f.is_terminal() || cube == NodeId::TRUE {
+            return f;
+        }
+        if let Some(r) = self.cache.lookup(Op::Exists, f, cube) {
+            return r;
+        }
+        let n = self.node(f);
+        let r = if n.var == self.var_of(cube) {
+            let rest = self.node(cube).high;
+            let low = self.exists_rec(n.low, rest);
+            if low == NodeId::TRUE {
+                // ∨ with anything is true: prune the high branch entirely.
+                NodeId::TRUE
+            } else {
+                let high = self.exists_rec(n.high, rest);
+                self.apply(Op::Or, low, high)
+            }
+        } else {
+            let low = self.exists_rec(n.low, cube);
+            let high = self.exists_rec(n.high, cube);
+            self.mk(n.var, low, high)
+        };
+        self.cache.store(Op::Exists, f, cube, r);
+        r
     }
 
     /// Universal quantification of a single variable.
     pub fn forall(&mut self, f: Bdd, var: VarId) -> Bdd {
-        let f0 = self.restrict(f, var, false);
-        let f1 = self.restrict(f, var, true);
-        self.and(f0, f1)
+        self.forall_many(f, &[var])
     }
 
-    /// Universal quantification of a set of variables.
+    /// Universal quantification of a set of variables (one fused recursion,
+    /// like [`Self::exists_many`]).
     pub fn forall_many(&mut self, f: Bdd, vars: &[VarId]) -> Bdd {
-        let mut acc = f;
-        for &v in vars {
-            acc = self.forall(acc, v);
+        let cube = self.quant_cube(vars);
+        self.forall_cube(f, cube)
+    }
+
+    /// Universal quantification over a prebuilt [`Self::quant_cube`].
+    pub fn forall_cube(&mut self, f: Bdd, cube: Bdd) -> Bdd {
+        debug_assert!(self.is_quant_cube(cube), "quantifier cube must be positive literals");
+        Bdd(self.forall_rec(f.0, cube.0))
+    }
+
+    fn forall_rec(&mut self, f: NodeId, mut cube: NodeId) -> NodeId {
+        let vf = self.var_of(f);
+        while cube != NodeId::TRUE && self.var_of(cube) < vf {
+            cube = self.node(cube).high;
         }
-        acc
+        if f.is_terminal() || cube == NodeId::TRUE {
+            return f;
+        }
+        if let Some(r) = self.cache.lookup(Op::Forall, f, cube) {
+            return r;
+        }
+        let n = self.node(f);
+        let r = if n.var == self.var_of(cube) {
+            let rest = self.node(cube).high;
+            let low = self.forall_rec(n.low, rest);
+            if low == NodeId::FALSE {
+                NodeId::FALSE
+            } else {
+                let high = self.forall_rec(n.high, rest);
+                self.apply(Op::And, low, high)
+            }
+        } else {
+            let low = self.forall_rec(n.low, cube);
+            let high = self.forall_rec(n.high, cube);
+            self.mk(n.var, low, high)
+        };
+        self.cache.store(Op::Forall, f, cube, r);
+        r
+    }
+
+    /// The fused relational product `∃ vars. f ∧ g`.
+    ///
+    /// A single recursion conjoins and quantifies in one pass: the
+    /// intermediate `f ∧ g` BDD is never materialised, and the disjunction
+    /// at quantified levels short-circuits to `true` without visiting the
+    /// other branch.  This is the image operator of symbolic reachability.
+    pub fn and_exists(&mut self, f: Bdd, g: Bdd, vars: &[VarId]) -> Bdd {
+        let cube = self.quant_cube(vars);
+        self.and_exists_with(f, g, cube)
+    }
+
+    /// [`Self::and_exists`] over a prebuilt [`Self::quant_cube`] — the form
+    /// fixpoint loops should call so the cube (which is also the memo key)
+    /// is interned once.
+    pub fn and_exists_with(&mut self, f: Bdd, g: Bdd, cube: Bdd) -> Bdd {
+        debug_assert!(self.is_quant_cube(cube), "quantifier cube must be positive literals");
+        Bdd(self.and_exists_rec(f.0, g.0, cube.0))
+    }
+
+    fn and_exists_rec(&mut self, f: NodeId, g: NodeId, mut cube: NodeId) -> NodeId {
+        if f == NodeId::FALSE || g == NodeId::FALSE {
+            return NodeId::FALSE;
+        }
+        // Degenerate operands reduce to a plain quantification (which has
+        // better sharing under its own cache key).
+        if f == NodeId::TRUE {
+            return self.exists_rec(g, cube);
+        }
+        if g == NodeId::TRUE || f == g {
+            return self.exists_rec(f, cube);
+        }
+        // Conjunction is commutative: normalise the operand order.
+        let (f, g) = if f <= g { (f, g) } else { (g, f) };
+        let vf = self.var_of(f);
+        let vg = self.var_of(g);
+        let v = vf.min(vg);
+        while cube != NodeId::TRUE && self.var_of(cube) < v {
+            cube = self.node(cube).high;
+        }
+        if cube == NodeId::TRUE {
+            // No variables left to quantify below this level.
+            return self.apply(Op::And, f, g);
+        }
+        if let Some(r) = self.cache.lookup3(Op::AndExists, f, g, cube) {
+            return r;
+        }
+        let (f_low, f_high) = if vf == v {
+            let n = self.node(f);
+            (n.low, n.high)
+        } else {
+            (f, f)
+        };
+        let (g_low, g_high) = if vg == v {
+            let n = self.node(g);
+            (n.low, n.high)
+        } else {
+            (g, g)
+        };
+        let r = if v == self.var_of(cube) {
+            let rest = self.node(cube).high;
+            let low = self.and_exists_rec(f_low, g_low, rest);
+            if low == NodeId::TRUE {
+                NodeId::TRUE
+            } else {
+                let high = self.and_exists_rec(f_high, g_high, rest);
+                self.apply(Op::Or, low, high)
+            }
+        } else {
+            let low = self.and_exists_rec(f_low, g_low, cube);
+            let high = self.and_exists_rec(f_high, g_high, cube);
+            self.mk(v, low, high)
+        };
+        self.cache.store3(Op::AndExists, f, g, cube, r);
+        r
+    }
+
+    /// Maps every *odd* variable in `f`'s support to its even predecessor
+    /// (`2i+1 ↦ 2i`), leaving even variables in place.
+    ///
+    /// This is the rename step of the relational-product image under an
+    /// interleaved current/next variable encoding (current state in the even
+    /// variables, next state in the odd ones): after quantifying the current
+    /// copy, `unprime` moves the next-state result back onto the current
+    /// variables.  The map preserves the variable order, so the result is
+    /// built by a single structural traversal.
+    ///
+    /// # Panics
+    ///
+    /// `f` must not depend on both `2i` and `2i + 1` for any `i` — the two
+    /// would collide on the same level after the shift.  Violations panic
+    /// (in release builds too): silently interning an out-of-order node
+    /// would corrupt canonicity for the whole manager.
+    pub fn unprime(&mut self, f: Bdd) -> Bdd {
+        Bdd(self.unprime_rec(f.0))
+    }
+
+    fn unprime_rec(&mut self, f: NodeId) -> NodeId {
+        if f.is_terminal() {
+            return f;
+        }
+        if let Some(r) = self.cache.lookup(Op::Unprime, f, f) {
+            return r;
+        }
+        let n = self.node(f);
+        let low = self.unprime_rec(n.low);
+        let high = self.unprime_rec(n.high);
+        let var = n.var - (n.var & 1);
+        assert!(
+            self.var_of(low) > var && self.var_of(high) > var,
+            "unprime: input depends on both variables of the pair ({var}, {})",
+            var + 1
+        );
+        let r = self.mk(var, low, high);
+        self.cache.store(Op::Unprime, f, f, r);
+        r
     }
 
     /// Returns `true` if `f → g` is a tautology.
@@ -662,8 +977,8 @@ impl BddManager {
             let approx = self.sat_count_f64(f);
             return if approx >= u128::MAX as f64 { u128::MAX } else { approx as u128 };
         }
-        let mut cache: FxHashMap<NodeId, u128> = FxHashMap::default();
-        let fraction = self.sat_fraction(f.0, &mut cache);
+        let mut scratch = self.scratch.borrow_mut();
+        let fraction = self.sat_fraction(f.0, &mut scratch.sat_u128);
         let shift = bits - self.depth_below_root(f.0);
         fraction.checked_shl(shift).unwrap_or(u128::MAX)
     }
@@ -688,8 +1003,8 @@ impl BddManager {
                 }
             }
         }
-        let mut cache = FxHashMap::default();
-        density(self, f.0, &mut cache) * 2f64.powi(self.num_vars as i32)
+        let mut scratch = self.scratch.borrow_mut();
+        density(self, f.0, &mut scratch.sat_f64) * 2f64.powi(self.num_vars as i32)
     }
 
     fn depth_below_root(&self, f: NodeId) -> u32 {
@@ -749,11 +1064,13 @@ impl BddManager {
 
     /// The set of variables `f` depends on.
     pub fn support(&self, f: Bdd) -> Vec<VarId> {
-        let mut seen = FxHashSet::default();
+        let mut scratch = self.scratch.borrow_mut();
+        let TraversalScratch { visited, stack, .. } = &mut *scratch;
+        visited.clear();
         let mut vars = std::collections::BTreeSet::new();
-        let mut stack = vec![f.0];
+        stack.push(f.0);
         while let Some(id) = stack.pop() {
-            if id.is_terminal() || !seen.insert(id) {
+            if id.is_terminal() || !visited.insert(id) {
                 continue;
             }
             let n = self.node(id);
@@ -766,11 +1083,13 @@ impl BddManager {
 
     /// Number of distinct nodes reachable from `f` (a size measure).
     pub fn size(&self, f: Bdd) -> usize {
-        let mut seen = FxHashSet::default();
-        let mut stack = vec![f.0];
+        let mut scratch = self.scratch.borrow_mut();
+        let TraversalScratch { visited, stack, .. } = &mut *scratch;
+        visited.clear();
+        stack.push(f.0);
         let mut count = 0;
         while let Some(id) = stack.pop() {
-            if id.is_terminal() || !seen.insert(id) {
+            if id.is_terminal() || !visited.insert(id) {
                 continue;
             }
             count += 1;
@@ -1019,6 +1338,197 @@ mod tests {
         assert!(m.num_nodes() > 2);
         assert_eq!(m.nodes.capacity(), start_capacity, "no growth after reserve");
         assert!(!acc.is_false());
+    }
+
+    /// SplitMix64 — deterministic generator for the randomized tests.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// A random union of cubes over `nv` variables — the shape reachability
+    /// frontiers take.
+    fn random_cube_set(m: &mut BddManager, rng: &mut Rng, nv: u32, cubes: usize) -> Bdd {
+        let mut acc = m.bottom();
+        for _ in 0..cubes {
+            let mut lits = Vec::new();
+            for v in 0..nv {
+                match rng.next() % 3 {
+                    0 => lits.push((v, false)),
+                    1 => lits.push((v, true)),
+                    _ => {}
+                }
+            }
+            let cube = m.cube_of(&lits);
+            acc = m.or(acc, cube);
+        }
+        acc
+    }
+
+    /// Reference quantifier: the old one-variable-at-a-time loop.
+    fn exists_loop(m: &mut BddManager, f: Bdd, vars: &[VarId]) -> Bdd {
+        let mut acc = f;
+        for &v in vars {
+            let f0 = m.restrict(acc, v, false);
+            let f1 = m.restrict(acc, v, true);
+            acc = m.or(f0, f1);
+        }
+        acc
+    }
+
+    #[test]
+    fn and_exists_equals_exists_of_and_on_random_cube_sets() {
+        for seed in 0..40u64 {
+            let mut rng = Rng(seed);
+            let nv = 2 + (rng.next() % 7) as u32;
+            let mut m = BddManager::new(nv as usize);
+            let fc = 1 + (rng.next() % 6) as usize;
+            let f = random_cube_set(&mut m, &mut rng, nv, fc);
+            let gc = 1 + (rng.next() % 6) as usize;
+            let g = random_cube_set(&mut m, &mut rng, nv, gc);
+            let vars: Vec<VarId> = (0..nv).filter(|_| rng.next() % 2 == 0).collect();
+            let fused = m.and_exists(f, g, &vars);
+            let fg = m.and(f, g);
+            let reference = m.exists_many(fg, &vars);
+            assert_eq!(fused, reference, "seed {seed}, vars {vars:?}");
+            // Cross-check against the per-variable loop as well.
+            assert_eq!(exists_loop(&mut m, fg, &vars), reference, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fused_quantifiers_match_the_per_variable_loop() {
+        for seed in 100..130u64 {
+            let mut rng = Rng(seed);
+            let nv = 3 + (rng.next() % 6) as u32;
+            let mut m = BddManager::new(nv as usize);
+            let fc = 1 + (rng.next() % 8) as usize;
+            let f = random_cube_set(&mut m, &mut rng, nv, fc);
+            let vars: Vec<VarId> = (0..nv).filter(|_| rng.next() % 2 == 0).collect();
+            let fused = m.exists_many(f, &vars);
+            assert_eq!(fused, exists_loop(&mut m, f, &vars), "seed {seed}");
+            // ∀ is the De Morgan dual of ∃.
+            let all = m.forall_many(f, &vars);
+            let nf = m.not(f);
+            let ex_nf = m.exists_many(nf, &vars);
+            assert_eq!(all, m.not(ex_nf), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn quantifier_sets_are_order_and_duplicate_insensitive() {
+        let mut m = BddManager::new(5);
+        let a = m.var(0);
+        let c = m.var(2);
+        let e = m.var(4);
+        let ac = m.and(a, c);
+        let f = m.or(ac, e);
+        let sorted = m.exists_many(f, &[0, 2]);
+        let shuffled = m.exists_many(f, &[2, 0, 2, 0]);
+        assert_eq!(sorted, shuffled);
+        let cube1 = m.quant_cube(&[4, 1, 1, 4]);
+        let cube2 = m.quant_cube(&[1, 4]);
+        assert_eq!(cube1, cube2);
+        assert!(m.is_quant_cube(cube1));
+        let not_a_cube = m.or(a, c);
+        assert!(!m.is_quant_cube(not_a_cube));
+        assert!(m.is_quant_cube(m.top()));
+        assert!(!m.is_quant_cube(m.bottom()));
+    }
+
+    #[test]
+    fn and_exists_never_builds_the_conjunction_when_it_can_prune() {
+        // f ∧ g is huge, but quantifying everything collapses to a constant;
+        // the fused operator must answer without materialising f ∧ g.
+        let mut m = BddManager::new(16);
+        let f_vars: Vec<Bdd> = (0..16).map(|i| m.var(i)).collect();
+        let mut f = m.bottom();
+        for pair in f_vars.chunks(2) {
+            let x = m.xor(pair[0], pair[1]);
+            f = m.or(f, x);
+        }
+        let g = m.top();
+        let all: Vec<VarId> = (0..16).collect();
+        let r = m.and_exists(f, g, &all);
+        assert!(r.is_true());
+    }
+
+    #[test]
+    fn unprime_shifts_odd_variables_down() {
+        let mut m = BddManager::new(8);
+        // f over the odd (next-state) variables 1, 3, 5.
+        let x1 = m.var(1);
+        let x3 = m.var(3);
+        let x5 = m.var(5);
+        let x13 = m.and(x1, x3);
+        let f = m.or(x13, x5);
+        let g = m.unprime(f);
+        let e0 = m.var(0);
+        let e2 = m.var(2);
+        let e4 = m.var(4);
+        let e02 = m.and(e0, e2);
+        let expected = m.or(e02, e4);
+        assert_eq!(g, expected);
+        // Mixed support is fine as long as no even/odd pair collides.
+        let e6 = m.var(6);
+        let mixed = m.and(f, e6);
+        let unprimed = m.unprime(mixed);
+        let expected_mixed = m.and(expected, e6);
+        assert_eq!(unprimed, expected_mixed);
+        // Even-only functions are fixed points.
+        assert_eq!(m.unprime(expected), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "both variables of the pair")]
+    fn unprime_rejects_colliding_variable_pairs() {
+        let mut m = BddManager::new(4);
+        let x0 = m.var(0);
+        let x1 = m.var(1);
+        let bad = m.and(x0, x1);
+        let _ = m.unprime(bad);
+    }
+
+    #[test]
+    fn stats_report_nodes_and_cache_traffic() {
+        let mut m = BddManager::new(6);
+        let before = m.stats();
+        assert_eq!(before.num_nodes, before.peak_nodes);
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        let _ = m.and(a, b); // exercises the cache
+        let after = m.stats();
+        assert!(after.num_nodes > before.num_nodes);
+        assert_eq!(after.num_nodes, after.peak_nodes);
+        assert!(after.cache_hits > 0, "repeat conjunction must hit the cache");
+        assert!(after.cache_misses > 0);
+        assert!(after.unique_entries >= 3);
+        assert!(!ab.is_false());
+    }
+
+    #[test]
+    fn sat_count_memo_survives_and_stays_correct_across_growth() {
+        let mut m = BddManager::new(10);
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        assert_eq!(m.sat_count(ab), 256);
+        // Grow the DAG, then count a superset function: persisted per-node
+        // fractions must compose correctly with the new nodes.
+        let c = m.var(2);
+        let f = m.or(ab, c);
+        assert_eq!(m.sat_count(f), 256 + 512 - 128);
+        assert!((m.sat_count_f64(f) - m.sat_count(f) as f64).abs() < 1e-6);
+        m.clear_caches();
+        assert_eq!(m.sat_count(f), 640, "counts unchanged after cache clear");
     }
 
     #[test]

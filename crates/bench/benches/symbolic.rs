@@ -2,6 +2,9 @@
 //!
 //! Run with `cargo bench -p bench --bench symbolic`; set
 //! `BENCH_OUT=BENCH_symbolic.json` to record a machine-readable baseline.
+//! Each `symbolic_only` entry also records node-count and cache columns
+//! from [`bdd::BddManager::stats`] (via the reachability result), so the
+//! baseline tracks memory behaviour alongside wall-clock time.
 
 use bench::harness::{black_box, Criterion};
 use std::time::Duration;
@@ -24,11 +27,22 @@ fn explicit_vs_symbolic(c: &mut Criterion) {
 fn symbolic_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_c/symbolic_only");
     group.sample_size(10).measurement_time(Duration::from_secs(3));
-    for n in [12usize, 16] {
+    for n in [12usize, 16, 24] {
         let model = stg::benchmarks::parallel_handshakes(n);
         group.bench_function(format!("par_hs{n}"), |b| {
             b.iter(|| black_box(model.symbolic_state_space(None).state_count_f64()))
         });
+        // One untimed pass records the space/memory columns next to the
+        // timing row.
+        let space = model.symbolic_state_space(None);
+        let stats = space.manager_stats();
+        group.attach_metrics(&[
+            ("reachable_bdd_nodes", space.bdd_size() as f64),
+            ("manager_nodes", stats.num_nodes as f64),
+            ("peak_nodes", stats.peak_nodes as f64),
+            ("cache_hits", stats.cache_hits as f64),
+            ("cache_misses", stats.cache_misses as f64),
+        ]);
     }
     group.finish();
 }

@@ -7,6 +7,14 @@
 //! thing the project needs from a harness: machine-readable baselines.
 //! Setting `BENCH_OUT=<path>` writes every recorded statistic as a JSON
 //! array so successive PRs have a perf trajectory to compare against.
+//!
+//! Two environment overrides support CI smoke runs: `BENCH_SAMPLE_SIZE`
+//! and `BENCH_MEASUREMENT_MS` replace every group's sampling parameters,
+//! so a pipeline can execute the full bench surface in seconds just to
+//! prove the harness still runs.  Benchmarks may also attach gauge
+//! metrics (BDD node counts, cache hit rates, …) to their most recent
+//! result via [`BenchmarkGroup::attach_metrics`]; metrics are printed and
+//! serialised alongside the timing columns.
 
 use std::time::{Duration, Instant};
 
@@ -30,28 +38,43 @@ pub struct SampleStats {
     pub min_ns: f64,
     /// Slowest sample.
     pub max_ns: f64,
+    /// Gauge metrics attached after timing (name → value), e.g. BDD node
+    /// counts.  Serialised as extra JSON fields next to the timing columns.
+    pub metrics: Vec<(String, f64)>,
 }
 
 /// Top-level collector of benchmark results.
-#[derive(Default)]
 pub struct Criterion {
     results: Vec<SampleStats>,
+    sample_size_override: Option<usize>,
+    measurement_time_override: Option<Duration>,
+}
+
+impl Default for Criterion {
+    /// Same as [`Criterion::new`] — the environment overrides apply however
+    /// the collector is constructed.
+    fn default() -> Self {
+        Criterion::new()
+    }
 }
 
 impl Criterion {
-    /// Creates an empty collector.
+    /// Creates an empty collector, honouring the `BENCH_SAMPLE_SIZE` and
+    /// `BENCH_MEASUREMENT_MS` environment overrides.
     pub fn new() -> Self {
-        Criterion::default()
+        let parse = |name: &str| std::env::var(name).ok().and_then(|v| v.parse::<u64>().ok());
+        Criterion {
+            results: Vec::new(),
+            sample_size_override: parse("BENCH_SAMPLE_SIZE").map(|n| n.max(1) as usize),
+            measurement_time_override: parse("BENCH_MEASUREMENT_MS").map(Duration::from_millis),
+        }
     }
 
     /// Starts a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            criterion: self,
-            name: name.into(),
-            sample_size: 10,
-            measurement_time: Duration::from_secs(3),
-        }
+        let sample_size = self.sample_size_override.unwrap_or(10);
+        let measurement_time = self.measurement_time_override.unwrap_or(Duration::from_secs(3));
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size, measurement_time }
     }
 
     /// Prints the summary table and, when `BENCH_OUT` is set, writes the
@@ -67,6 +90,11 @@ impl Criterion {
                 format_ns(r.min_ns),
                 r.samples
             );
+            if !r.metrics.is_empty() {
+                let rendered: Vec<String> =
+                    r.metrics.iter().map(|(k, v)| format!("{k}={v:.0}")).collect();
+                println!("{:<40}   {}", "", rendered.join("  "));
+            }
         }
         if let Ok(path) = std::env::var("BENCH_OUT") {
             match std::fs::write(&path, results_to_json(&self.results)) {
@@ -92,15 +120,20 @@ fn format_ns(ns: f64) -> String {
 fn results_to_json(results: &[SampleStats]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in results.iter().enumerate() {
+        let mut metrics = String::new();
+        for (name, value) in &r.metrics {
+            metrics.push_str(&format!(", \"{}\": {:.1}", name.replace('"', "\\\""), value));
+        }
         out.push_str(&format!(
             "  {{\"id\": \"{}\", \"samples\": {}, \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \
-             \"min_ns\": {:.1}, \"max_ns\": {:.1}}}{}\n",
+             \"min_ns\": {:.1}, \"max_ns\": {:.1}{}}}{}\n",
             r.id.replace('"', "\\\""),
             r.samples,
             r.mean_ns,
             r.median_ns,
             r.min_ns,
             r.max_ns,
+            metrics,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -117,17 +150,38 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples per benchmark (ignored when the
+    /// `BENCH_SAMPLE_SIZE` environment override is active).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        if self.criterion.sample_size_override.is_none() {
+            self.sample_size = n.max(1);
+        }
         self
     }
 
     /// Sets the soft time budget per benchmark; sampling stops early when it
-    /// is exhausted (at least one sample is always taken).
+    /// is exhausted (at least one sample is always taken).  Ignored when the
+    /// `BENCH_MEASUREMENT_MS` environment override is active.
     pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
-        self.measurement_time = d;
+        if self.criterion.measurement_time_override.is_none() {
+            self.measurement_time = d;
+        }
         self
+    }
+
+    /// Attaches gauge metrics (name → value) to the most recently recorded
+    /// benchmark of *this group*.  Panics if the group has not recorded a
+    /// benchmark yet, so metrics can never silently land on another
+    /// group's row.
+    pub fn attach_metrics(&mut self, metrics: &[(&str, f64)]) {
+        let prefix = format!("{}/", self.name);
+        let last = self
+            .criterion
+            .results
+            .last_mut()
+            .filter(|r| r.id.starts_with(&prefix))
+            .expect("attach_metrics requires a benchmark recorded by this group");
+        last.metrics.extend(metrics.iter().map(|&(k, v)| (k.to_owned(), v)));
     }
 
     /// Times `f` (which must drive a [`Bencher`]) and records the result.
@@ -166,6 +220,7 @@ impl BenchmarkGroup<'_> {
             median_ns,
             min_ns: ns[0],
             max_ns: ns[samples - 1],
+            metrics: Vec::new(),
         };
         println!("{:<40} {:>12} (n={})", stats.id, format_ns(stats.median_ns), stats.samples);
         self.criterion.results.push(stats);
@@ -217,11 +272,44 @@ mod tests {
             median_ns: 9.0,
             min_ns: 8.0,
             max_ns: 13.0,
+            metrics: vec![("bdd_nodes".to_owned(), 42.0)],
         };
         let json = results_to_json(&[stats]);
         assert!(json.starts_with("[\n"));
         assert!(json.trim_end().ends_with(']'));
         assert!(json.contains("\"id\": \"g/f\""));
+        assert!(json.contains("\"bdd_nodes\": 42.0"));
         assert!(!json.contains("},\n]"), "no trailing comma");
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded by this group")]
+    fn metrics_cannot_attach_across_groups() {
+        let mut c = Criterion::new();
+        {
+            let mut g = c.benchmark_group("first");
+            g.sample_size(1).measurement_time(Duration::from_secs(1));
+            g.bench_function("bench", |b| b.iter(|| black_box(1)));
+            g.finish();
+        }
+        // A fresh group with no recorded benchmark must not be able to tag
+        // the previous group's row.
+        let mut g = c.benchmark_group("second");
+        g.attach_metrics(&[("nodes", 1.0)]);
+    }
+
+    #[test]
+    fn metrics_attach_to_the_most_recent_result() {
+        let mut c = Criterion::new();
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(2).measurement_time(Duration::from_secs(1));
+            g.bench_function("first", |b| b.iter(|| black_box(1)));
+            g.bench_function("second", |b| b.iter(|| black_box(2)));
+            g.attach_metrics(&[("nodes", 7.0), ("peak", 9.0)]);
+            g.finish();
+        }
+        assert!(c.results[0].metrics.is_empty());
+        assert_eq!(c.results[1].metrics, vec![("nodes".to_owned(), 7.0), ("peak".to_owned(), 9.0)]);
     }
 }

@@ -2,21 +2,48 @@
 //!
 //! The DAC'96 paper attributes petrify's capacity to handle "extremely large
 //! state graphs" to the symbolic (OBDD) representation of the state graph.
-//! This module provides that engine: markings of the safe net are encoded
-//! with one BDD variable per place (plus, optionally, one variable per
-//! signal for the binary code), reachability is computed as a least
-//! fixpoint of per-transition image operators, and the CSC / USC properties
-//! are checked by projecting the reachable set onto the code variables.
+//! This module provides that engine, built around the fused
+//! relational-product operator [`bdd::BddManager::and_exists`]:
+//!
+//! * **Interleaved variable encoding** — every state variable (one per
+//!   place, plus one per signal for code-encoded spaces) owns an adjacent
+//!   pair of BDD variables: the *current* copy at index `2i` and the *next*
+//!   copy at `2i + 1`.  Interleaving keeps the per-transition relations
+//!   linear-sized, and renaming next back to current is a plain
+//!   order-preserving shift ([`bdd::BddManager::unprime`]).
+//! * **Partitioned transition relations** — each transition contributes a
+//!   small relation `enabled(x) ∧ next-values(x′) ∧ frame(x, x′)` whose
+//!   support is limited to the variables the transition actually touches.
+//!   Relations are grouped into *disjunctive clusters* per signal (dummy
+//!   transitions stay individual), so one image step per cluster replaces
+//!   the per-transition and/exists/and/or chain.
+//! * **Frontier-driven reachability** — the fixpoint images only the states
+//!   discovered in the previous step (`frontier = img \ reachable`) instead
+//!   of re-imaging the whole reachable set each iteration.  The monolithic
+//!   variant is kept selectable for equivalence testing and comparison.
 //!
 //! The symbolic engine is used by the Table 1 harness to count state spaces
-//! far beyond what explicit enumeration can touch (e.g. `4^16` markings for
-//! a 16-wide parallel composition) and to detect the presence of encoding
+//! far beyond what explicit enumeration can touch (e.g. `4^24` markings for
+//! a 24-wide parallel composition) and to detect the presence of encoding
 //! conflicts without building the explicit graph.
 
 use crate::model::{Stg, TransitionLabel};
 use crate::signal::Polarity;
-use bdd::{Bdd, BddManager, VarId};
+use bdd::{Bdd, BddManager, BddStats, FxHashMap, VarId};
 use petri::TransId;
+
+/// How the reachability fixpoint feeds each image step.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum ReachabilityStrategy {
+    /// Image only the states discovered in the previous step.  This is the
+    /// default: every state is imaged exactly once, so wide shallow state
+    /// spaces converge with far less BDD traffic.
+    #[default]
+    FrontierBfs,
+    /// Image the entire reachable set every iteration (the textbook least
+    /// fixpoint).  Kept for equivalence testing and as a baseline.
+    MonolithicBfs,
+}
 
 /// A symbolically represented set of reachable markings.
 #[derive(Debug)]
@@ -27,6 +54,17 @@ pub struct SymbolicStateSpace {
     num_signals: usize,
     /// `true` when the fixpoint completed without hitting the iteration cap.
     pub converged: bool,
+    /// Number of image rounds the fixpoint performed.
+    pub iterations: usize,
+}
+
+/// One disjunctive cluster of transition relations plus its quantifier.
+struct Cluster {
+    /// `∨` over the member transitions of `enabled ∧ pins ∧ frame`.
+    relation: Bdd,
+    /// Positive cube of the *current* copies of every state variable some
+    /// member changes — the set `and_exists` quantifies away.
+    quant: Bdd,
 }
 
 impl Stg {
@@ -36,12 +74,21 @@ impl Stg {
     /// default (`None`) allows `4 × places` steps, which is ample for the
     /// benchmark suite.
     pub fn symbolic_state_space(&self, max_iterations: Option<usize>) -> SymbolicStateSpace {
-        self.symbolic_space_inner(false, 0, max_iterations)
+        self.symbolic_space_inner(false, 0, ReachabilityStrategy::default(), max_iterations)
+    }
+
+    /// [`Self::symbolic_state_space`] with an explicit fixpoint strategy.
+    pub fn symbolic_state_space_with(
+        &self,
+        strategy: ReachabilityStrategy,
+        max_iterations: Option<usize>,
+    ) -> SymbolicStateSpace {
+        self.symbolic_space_inner(false, 0, strategy, max_iterations)
     }
 
     /// Computes the reachable (marking, code) pairs symbolically.
     ///
-    /// Place variables come first, followed by one variable per signal.
+    /// State variables are the places followed by one variable per signal.
     /// `initial_code` gives the signal values in the initial marking (bit
     /// `i` = signal `i`); the benchmark suite starts every signal at 0.
     pub fn symbolic_encoded_state_space(
@@ -49,154 +96,248 @@ impl Stg {
         initial_code: u64,
         max_iterations: Option<usize>,
     ) -> SymbolicStateSpace {
-        self.symbolic_space_inner(true, initial_code, max_iterations)
+        self.symbolic_space_inner(
+            true,
+            initial_code,
+            ReachabilityStrategy::default(),
+            max_iterations,
+        )
+    }
+
+    /// [`Self::symbolic_encoded_state_space`] with an explicit strategy.
+    pub fn symbolic_encoded_state_space_with(
+        &self,
+        initial_code: u64,
+        strategy: ReachabilityStrategy,
+        max_iterations: Option<usize>,
+    ) -> SymbolicStateSpace {
+        self.symbolic_space_inner(true, initial_code, strategy, max_iterations)
     }
 
     fn symbolic_space_inner(
         &self,
         with_codes: bool,
         initial_code: u64,
+        strategy: ReachabilityStrategy,
         max_iterations: Option<usize>,
     ) -> SymbolicStateSpace {
         let net = self.net();
         let num_places = net.num_places();
         let num_signals = if with_codes { self.num_signals() } else { 0 };
-        let num_vars = num_places + num_signals;
+        // One (current, next) variable pair per state variable, interleaved:
+        // state variable i lives at BDD variables 2i (current) and 2i+1
+        // (next).
+        let num_state_vars = num_places + num_signals;
+        let current = |state_var: usize| (2 * state_var) as VarId;
+        let next = |state_var: usize| (2 * state_var + 1) as VarId;
         // Pre-size the arena and unique table: reachability fixpoints build
         // nodes monotonically, and sizing up front avoids growth rehashing
         // in the middle of the image iteration.
-        let mut m =
-            BddManager::with_capacity(num_vars.max(1), (num_vars.max(8) * 512).min(1 << 20));
+        let mut m = BddManager::with_capacity(
+            (2 * num_state_vars).max(1),
+            (num_state_vars.max(8) * 1024).min(1 << 20),
+        );
 
-        // Initial state cube: the exact initial marking (and code).
+        // Initial state cube over the current-copy variables.
         let mut initial_lits: Vec<(VarId, bool)> = (0..num_places)
-            .map(|p| (p as VarId, net.initial_marking().is_marked(petri::PlaceId::from(p))))
+            .map(|p| (current(p), net.initial_marking().is_marked(petri::PlaceId::from(p))))
             .collect();
         if with_codes {
             for s in 0..num_signals {
-                initial_lits.push(((num_places + s) as VarId, initial_code & (1 << s) != 0));
+                initial_lits.push((current(num_places + s), initial_code & (1 << s) != 0));
             }
         }
-        let mut reachable = m.cube_of(&initial_lits);
+        let initial = m.cube_of(&initial_lits);
 
-        // Precompute per-transition image operators *once*: the enabling
-        // cube (marked preset plus the signal's pre-value), the set of
-        // variables the firing changes, and the cube pinning their
-        // post-values.  A toggle edge (`a~`) flips its code bit, which a
-        // quantify-and-pin operator cannot express in one step, so it
-        // expands into two branches — one per current bit value.  The
-        // fixpoint loop below then performs only and/exists/or work per
-        // branch per iteration instead of rebuilding the same cubes every
-        // round.
-        struct TransImage {
-            enabled_cube: Bdd,
-            changed: Vec<VarId>,
-            pin_cube: Bdd,
+        // --- Build the partitioned transition relations -------------------
+        //
+        // Each transition branch yields: the literals enabling it (marked
+        // preset, plus the signal's pre-value for a coded edge), the state
+        // variables it changes, and the next-copy literals pinning their
+        // post-values.  A toggle edge (`a~`) flips its code bit, so it
+        // expands into one branch per current bit value.
+        struct TransBranch {
+            enabled: Vec<(VarId, bool)>,
+            changed: Vec<usize>,
+            pinned: Vec<(VarId, bool)>,
         }
         /// One literal constraining a code bit (`None` = unconstrained).
-        type CodeLit = Option<(VarId, bool)>;
-        let images: Vec<TransImage> = (0..net.num_transitions())
-            .flat_map(|t| {
-                let t_id = TransId::from(t);
-                let pre: Vec<VarId> = net.preset(t_id).iter().map(|p| p.index() as VarId).collect();
-                let post: Vec<VarId> =
-                    net.postset(t_id).iter().map(|p| p.index() as VarId).collect();
-                let cleared: Vec<VarId> =
-                    pre.iter().copied().filter(|v| !post.contains(v)).collect();
-                let set: Vec<VarId> = post.iter().copied().filter(|v| !pre.contains(v)).collect();
-                let signal_var = if with_codes {
-                    match self.label(t_id) {
-                        TransitionLabel::Edge { signal, polarity } => {
-                            Some(((num_places + signal.index()) as VarId, polarity))
-                        }
-                        TransitionLabel::Dummy => None,
+        type CodeLit = Option<(usize, bool)>;
+        // Branches grouped into disjunctive clusters: one cluster per
+        // signal, one per dummy transition.
+        let mut members: Vec<Vec<TransBranch>> = Vec::new();
+        let mut cluster_of_signal: FxHashMap<usize, usize> = FxHashMap::default();
+        for t in 0..net.num_transitions() {
+            let t_id = TransId::from(t);
+            let pre: Vec<usize> = net.preset(t_id).iter().map(|p| p.index()).collect();
+            let post: Vec<usize> = net.postset(t_id).iter().map(|p| p.index()).collect();
+            let cleared: Vec<usize> = pre.iter().copied().filter(|v| !post.contains(v)).collect();
+            let set: Vec<usize> = post.iter().copied().filter(|v| !pre.contains(v)).collect();
+            let label = self.label(t_id);
+            let signal_state_var = if with_codes {
+                match label {
+                    TransitionLabel::Edge { signal, polarity } => {
+                        Some((num_places + signal.index(), polarity))
                     }
-                } else {
-                    None
-                };
-                let enabled_lits: Vec<(VarId, bool)> = pre.iter().map(|&v| (v, true)).collect();
-                let mut changed: Vec<VarId> = cleared.clone();
-                changed.extend(&set);
-                let mut pinned: Vec<(VarId, bool)> = Vec::new();
-                pinned.extend(cleared.iter().map(|&v| (v, false)));
-                pinned.extend(set.iter().map(|&v| (v, true)));
-                // (signal pre-value, signal post-value) per branch.
-                let code_branches: Vec<(CodeLit, CodeLit)> = match signal_var {
-                    Some((var, Polarity::Rise)) => {
-                        vec![(Some((var, false)), Some((var, true)))]
-                    }
-                    Some((var, Polarity::Fall)) => {
-                        vec![(Some((var, true)), Some((var, false)))]
-                    }
-                    // A toggle fires from either value and lands on the
-                    // opposite one.
-                    Some((var, Polarity::Toggle)) => vec![
-                        (Some((var, false)), Some((var, true))),
-                        (Some((var, true)), Some((var, false))),
-                    ],
-                    None => vec![(None, None)],
-                };
-                code_branches
-                    .into_iter()
-                    .map(|(pre_lit, post_lit)| {
-                        let mut enabled_lits = enabled_lits.clone();
-                        let mut changed = changed.clone();
-                        let mut pinned = pinned.clone();
-                        if let Some(lit) = pre_lit {
-                            enabled_lits.push(lit);
-                            changed.push(lit.0);
-                        }
-                        if let Some(lit) = post_lit {
-                            pinned.push(lit);
-                        }
-                        TransImage {
-                            enabled_cube: m.cube_of(&enabled_lits),
-                            changed,
-                            pin_cube: m.cube_of(&pinned),
-                        }
+                    TransitionLabel::Dummy => None,
+                }
+            } else {
+                None
+            };
+            let enabled_base: Vec<(VarId, bool)> =
+                pre.iter().map(|&p| (current(p), true)).collect();
+            let mut changed_base: Vec<usize> = cleared.clone();
+            changed_base.extend(&set);
+            let mut pinned_base: Vec<(VarId, bool)> = Vec::new();
+            pinned_base.extend(cleared.iter().map(|&p| (next(p), false)));
+            pinned_base.extend(set.iter().map(|&p| (next(p), true)));
+            // (signal pre-value, signal post-value) per branch.
+            let code_branches: Vec<(CodeLit, CodeLit)> = match signal_state_var {
+                Some((sv, Polarity::Rise)) => vec![(Some((sv, false)), Some((sv, true)))],
+                Some((sv, Polarity::Fall)) => vec![(Some((sv, true)), Some((sv, false)))],
+                // A toggle fires from either value and lands on the
+                // opposite one.
+                Some((sv, Polarity::Toggle)) => vec![
+                    (Some((sv, false)), Some((sv, true))),
+                    (Some((sv, true)), Some((sv, false))),
+                ],
+                None => vec![(None, None)],
+            };
+            let slot = match label {
+                TransitionLabel::Edge { signal, .. } => {
+                    *cluster_of_signal.entry(signal.index()).or_insert_with(|| {
+                        members.push(Vec::new());
+                        members.len() - 1
                     })
-                    .collect::<Vec<_>>()
+                }
+                TransitionLabel::Dummy => {
+                    members.push(Vec::new());
+                    members.len() - 1
+                }
+            };
+            for (pre_lit, post_lit) in code_branches {
+                let mut enabled = enabled_base.clone();
+                let mut changed = changed_base.clone();
+                let mut pinned = pinned_base.clone();
+                if let Some((sv, value)) = pre_lit {
+                    enabled.push((current(sv), value));
+                    changed.push(sv);
+                }
+                if let Some((sv, value)) = post_lit {
+                    pinned.push((next(sv), value));
+                }
+                changed.sort_unstable();
+                changed.dedup();
+                members[slot].push(TransBranch { enabled, changed, pinned });
+            }
+        }
+
+        // Frame condition x′ᵥ ↔ xᵥ, interned once per state variable.
+        let mut frame_iffs: Vec<Option<Bdd>> = vec![None; num_state_vars];
+        let mut frame_of = |m: &mut BddManager, sv: usize| {
+            *frame_iffs[sv].get_or_insert_with(|| {
+                let cur = m.var(current(sv));
+                let nxt = m.var(next(sv));
+                m.iff(cur, nxt)
+            })
+        };
+        let clusters: Vec<Cluster> = members
+            .into_iter()
+            .filter(|branches| !branches.is_empty())
+            .map(|branches| {
+                // The cluster quantifies the union of its members' changed
+                // sets, so members that leave one of those variables alone
+                // need an explicit frame conjunct to carry its value across.
+                let mut changed_union: Vec<usize> =
+                    branches.iter().flat_map(|b| b.changed.iter().copied()).collect();
+                changed_union.sort_unstable();
+                changed_union.dedup();
+                let mut relation = m.bottom();
+                for branch in &branches {
+                    let mut lits = branch.enabled.clone();
+                    lits.extend(&branch.pinned);
+                    let mut rel = m.cube_of(&lits);
+                    for &sv in changed_union.iter().rev() {
+                        if !branch.changed.contains(&sv) {
+                            let frame = frame_of(&mut m, sv);
+                            rel = m.and(rel, frame);
+                        }
+                    }
+                    relation = m.or(relation, rel);
+                }
+                let quant_vars: Vec<VarId> = changed_union.iter().map(|&sv| current(sv)).collect();
+                let quant = m.quant_cube(&quant_vars);
+                Cluster { relation, quant }
             })
             .collect();
 
+        // --- Fixpoint ------------------------------------------------------
         let limit = max_iterations.unwrap_or(4 * num_places.max(8));
+        let mut reachable = initial;
+        let mut frontier = initial;
         let mut converged = false;
+        let mut iterations = 0;
         for _ in 0..limit {
-            let mut next = reachable;
-            for img in &images {
-                // States where the transition is enabled (with the signal
-                // pre-value already folded into the cube).
-                let firing = m.and(reachable, img.enabled_cube);
-                if firing.is_false() {
+            let from = match strategy {
+                ReachabilityStrategy::FrontierBfs => frontier,
+                ReachabilityStrategy::MonolithicBfs => reachable,
+            };
+            // One fused relational product per cluster: conjoin with the
+            // cluster relation and quantify the current copies in a single
+            // pass, then shift the next copies back down.
+            let mut image = m.bottom();
+            for cluster in &clusters {
+                let step = m.and_exists_with(from, cluster.relation, cluster.quant);
+                if step.is_false() {
                     continue;
                 }
-                // Quantify away every variable the firing changes, then pin
-                // the new values.
-                let mut successor = m.exists_many(firing, &img.changed);
-                successor = m.and(successor, img.pin_cube);
-                next = m.or(next, successor);
+                let step = m.unprime(step);
+                image = m.or(image, step);
             }
-            if next == reachable {
+            iterations += 1;
+            let fresh = m.and_not(image, reachable);
+            if fresh.is_false() {
                 converged = true;
                 break;
             }
-            reachable = next;
+            reachable = m.or(reachable, fresh);
+            frontier = fresh;
         }
 
-        SymbolicStateSpace { manager: m, reachable, num_places, num_signals, converged }
+        SymbolicStateSpace { manager: m, reachable, num_places, num_signals, converged, iterations }
     }
 }
 
 impl SymbolicStateSpace {
+    /// Number of state variables (places plus code signals); the manager
+    /// holds twice as many BDD variables (a current and a next copy each).
+    fn num_state_vars(&self) -> usize {
+        self.num_places + self.num_signals
+    }
+
     /// Number of reachable markings (or marking/code pairs), as an exact
     /// count saturating at `u128::MAX`.
     pub fn state_count(&self) -> u128 {
-        self.manager.sat_count(self.reachable)
+        let extra = self.num_state_vars() as u32;
+        if self.manager.num_vars() >= 128 {
+            // The manager counts in floating point beyond 128 variables;
+            // divide out the unconstrained next-state copies there too.
+            let approx = self.state_count_f64();
+            if approx >= u128::MAX as f64 {
+                u128::MAX
+            } else {
+                approx as u128
+            }
+        } else {
+            // The reachable set never depends on the next-state copies, so
+            // the count over all variables is an exact multiple of 2^extra.
+            self.manager.sat_count(self.reachable) >> extra
+        }
     }
 
     /// Number of reachable markings as a float (robust beyond 128 places).
     pub fn state_count_f64(&self) -> f64 {
-        self.manager.sat_count_f64(self.reachable)
+        self.manager.sat_count_f64(self.reachable) / 2f64.powi(self.num_state_vars() as i32)
     }
 
     /// Number of BDD nodes representing the reachable set — the compression
@@ -205,11 +346,22 @@ impl SymbolicStateSpace {
         self.manager.size(self.reachable)
     }
 
+    /// Node-count and cache statistics of the underlying manager.
+    pub fn manager_stats(&self) -> BddStats {
+        self.manager.stats()
+    }
+
     /// Returns `true` if the given marking (as a vector of booleans indexed
     /// by place, extended with signal values if the space is code-encoded)
     /// is reachable.
     pub fn contains(&self, assignment: &[bool]) -> bool {
-        self.manager.eval(self.reachable, assignment)
+        // Spread the state assignment over the interleaved current copies;
+        // the next copies are don't-cares for the reachable set.
+        let mut full = vec![false; 2 * self.num_state_vars()];
+        for (state_var, &value) in assignment.iter().enumerate() {
+            full[2 * state_var] = value;
+        }
+        self.manager.eval(self.reachable, &full)
     }
 
     /// Number of place variables.
@@ -230,11 +382,16 @@ impl Stg {
     pub fn symbolic_usc_violation(&self, initial_code: u64) -> bool {
         let space = self.symbolic_encoded_state_space(initial_code, None);
         let states = space.state_count_f64();
-        // Project onto the code variables: the number of distinct codes.
+        let (num_places, num_signals) = (space.num_places, space.num_signals);
         let mut m = space.manager;
-        let place_vars: Vec<VarId> = (0..space.num_places as VarId).collect();
+        // Project onto the code variables: quantify away the current place
+        // copies (the next copies are free in `reachable` already).
+        let place_vars: Vec<VarId> = (0..num_places).map(|p| (2 * p) as VarId).collect();
         let codes = m.exists_many(space.reachable, &place_vars);
-        let distinct_codes = m.sat_count_f64(codes) / 2f64.powi(space.num_places as i32);
+        // `codes` depends only on the current signal copies; every other of
+        // the 2·(places + signals) manager variables is free.
+        let free_vars = (2 * (num_places + num_signals) - num_signals) as i32;
+        let distinct_codes = m.sat_count_f64(codes) / 2f64.powi(free_vars);
         states > distinct_codes + 0.5
     }
 
@@ -243,16 +400,17 @@ impl Stg {
     /// state that does not.
     pub fn symbolic_csc_violation(&self, initial_code: u64) -> bool {
         let space = self.symbolic_encoded_state_space(initial_code, None);
+        let num_places = space.num_places;
         let mut m = space.manager;
         let reachable = space.reachable;
-        let place_vars: Vec<VarId> = (0..space.num_places as VarId).collect();
+        let place_vars: Vec<VarId> = (0..num_places).map(|p| (2 * p) as VarId).collect();
         for signal in self.non_input_signals() {
             // Enabled(signal) as a function of places: some transition of the
             // signal has all its input places marked.
             let mut enabled = m.bottom();
             for t in self.transitions_of_signal(signal) {
                 let lits: Vec<(VarId, bool)> =
-                    self.net().preset(t).iter().map(|p| (p.index() as VarId, true)).collect();
+                    self.net().preset(t).iter().map(|p| ((2 * p.index()) as VarId, true)).collect();
                 let cube = m.cube_of(&lits);
                 enabled = m.or(enabled, cube);
             }
@@ -271,6 +429,7 @@ impl Stg {
 
 #[cfg(test)]
 mod tests {
+    use super::ReachabilityStrategy;
     use crate::benchmarks;
 
     #[test]
@@ -290,6 +449,36 @@ mod tests {
     }
 
     #[test]
+    fn frontier_and_monolithic_fixpoints_compute_the_same_space() {
+        for stg in [
+            benchmarks::handshake(),
+            benchmarks::pulser(),
+            benchmarks::vme_read(),
+            benchmarks::master_read_like(),
+            benchmarks::sequencer(4),
+            benchmarks::parallel_handshakes(5),
+            benchmarks::parallelizer(4),
+            benchmarks::pulser_bank(2),
+        ] {
+            let frontier = stg.symbolic_state_space_with(ReachabilityStrategy::FrontierBfs, None);
+            let monolithic =
+                stg.symbolic_state_space_with(ReachabilityStrategy::MonolithicBfs, None);
+            assert!(frontier.converged, "{}", stg.name());
+            assert_eq!(frontier.converged, monolithic.converged, "{}", stg.name());
+            assert_eq!(frontier.state_count(), monolithic.state_count(), "{}", stg.name());
+            assert_eq!(frontier.bdd_size(), monolithic.bdd_size(), "{}", stg.name());
+            assert!(frontier.iterations > 0, "{}", stg.name());
+            // The encoded spaces must agree too (exercises toggle/code bits).
+            let ef =
+                stg.symbolic_encoded_state_space_with(0, ReachabilityStrategy::FrontierBfs, None);
+            let em =
+                stg.symbolic_encoded_state_space_with(0, ReachabilityStrategy::MonolithicBfs, None);
+            assert_eq!(ef.state_count(), em.state_count(), "{}", stg.name());
+            assert_eq!(ef.bdd_size(), em.bdd_size(), "{}", stg.name());
+        }
+    }
+
+    #[test]
     fn symbolic_counts_scale_beyond_explicit_limits() {
         // 4^12 ≈ 16.7 million markings: cheap symbolically, expensive
         // explicitly.
@@ -298,6 +487,8 @@ mod tests {
         assert!(space.converged);
         assert_eq!(space.state_count(), 4u128.pow(12));
         assert!(space.bdd_size() < 10_000, "BDD must stay compact");
+        let stats = space.manager_stats();
+        assert!(stats.cache_hits > 0, "the fixpoint must reuse memoised images");
     }
 
     #[test]
@@ -349,5 +540,16 @@ mod tests {
         let space = stg.symbolic_state_space(None);
         let assignment = stg.net().initial_marking().to_bools();
         assert!(space.contains(&assignment));
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let stg = benchmarks::parallel_handshakes(4);
+        let space = stg.symbolic_state_space(Some(1));
+        assert!(!space.converged);
+        assert_eq!(space.iterations, 1);
+        let full = stg.symbolic_state_space(None);
+        assert!(full.converged);
+        assert!(full.iterations > space.iterations);
     }
 }
