@@ -1,0 +1,99 @@
+//! CSC solver pipeline bench: per-family solve times plus the parallel
+//! candidate-evaluation scaling of the staged `SolverContext`.
+//!
+//! Run with `cargo bench -p bench --bench csc`; set `BENCH_OUT=BENCH_csc.json`
+//! to record the machine-readable baseline tracked at the repository root.
+//!
+//! The `csc/solver` group times `solve_state_graph` (re-synthesis disabled,
+//! state graph pre-built) over the sequencer / counter / parallel-handshake
+//! families.  The `csc/jobs` group re-times the largest model at several
+//! `SolverConfig::jobs` values; the harness asserts the solutions are
+//! byte-identical across thread counts before recording, and attaches the
+//! host's available parallelism so single-core baselines (where `jobs > 1`
+//! can only add scheduling overhead) are interpretable.
+
+use bench::harness::{black_box, Criterion};
+use csc::{solve_state_graph, CscSolution, SolverConfig};
+use std::time::Duration;
+use stg::benchmarks;
+
+fn solve_config(jobs: usize) -> SolverConfig {
+    // Re-synthesis and area estimation are separate pipelines with their own
+    // benches; this harness isolates the solver.
+    SolverConfig { resynthesize: false, jobs, ..SolverConfig::default() }
+}
+
+fn assert_identical(name: &str, a: &CscSolution, b: &CscSolution) {
+    assert_eq!(a.inserted_signals, b.inserted_signals, "{name}: inserted signals differ");
+    assert_eq!(a.graph.codes, b.graph.codes, "{name}: state codes differ");
+    assert_eq!(
+        a.graph.ts.transitions(),
+        b.graph.ts.transitions(),
+        "{name}: transition systems differ"
+    );
+}
+
+fn solver_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csc/solver");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let models = [
+        ("seq6", benchmarks::sequencer(6)),
+        ("seq10", benchmarks::sequencer(10)),
+        ("counter3", benchmarks::counter(3)),
+        ("counter4", benchmarks::counter(4)),
+        ("par_hs4", benchmarks::parallel_handshakes(4)),
+        ("par_hs6", benchmarks::parallel_handshakes(6)),
+    ];
+    let config = solve_config(1);
+    for (name, model) in models {
+        let sg = model.state_graph(2_000_000).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(solve_state_graph(&sg, &config).unwrap().inserted_signals.len()))
+        });
+        // One untimed pass records the shape/pipeline columns next to the
+        // timing row.
+        let solution = solve_state_graph(&sg, &config).unwrap();
+        group.attach_metrics(&[
+            ("initial_states", solution.stats.initial_states as f64),
+            ("final_states", solution.stats.final_states as f64),
+            ("initial_conflicts", solution.stats.initial_conflicts as f64),
+            ("signals_inserted", solution.inserted_signals.len() as f64),
+            ("candidates_evaluated", solution.stats.stage.candidates_evaluated as f64),
+            ("candidates_pruned", solution.stats.stage.candidates_pruned as f64),
+        ]);
+    }
+    group.finish();
+}
+
+fn parallel_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csc/jobs");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    // The largest solver workload of the suite: the search stage dominates
+    // (thousands of candidate evaluations per insertion).
+    let model = benchmarks::sequencer(16);
+    let sg = model.state_graph(2_000_000).unwrap();
+    let reference = solve_state_graph(&sg, &solve_config(1)).unwrap();
+    let hardware = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    for jobs in [1usize, 2, 4] {
+        let config = solve_config(jobs);
+        // Parallel evaluation must not change the answer: proven here on the
+        // bench model itself, every time the baseline is recorded.
+        assert_identical("seq16", &reference, &solve_state_graph(&sg, &config).unwrap());
+        group.bench_function(format!("seq16/jobs{jobs}"), |b| {
+            b.iter(|| black_box(solve_state_graph(&sg, &config).unwrap().inserted_signals.len()))
+        });
+        group.attach_metrics(&[
+            ("jobs", jobs as f64),
+            ("hardware_threads", hardware as f64),
+            ("signals_inserted", reference.inserted_signals.len() as f64),
+        ]);
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = Criterion::new();
+    solver_families(&mut c);
+    parallel_scaling(&mut c);
+    c.finish();
+}

@@ -21,7 +21,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use csc::{conflict_pairs, solve_stg, CscError, CscSolution, EncodedGraph, SolverConfig};
+use csc::{
+    conflict_pairs, solve_stg, CscError, CscSolution, EncodedGraph, SolverConfig, StageStats,
+};
 use logic::estimate_area;
 use std::fmt;
 use std::time::Instant;
@@ -78,6 +80,10 @@ pub struct FlowReport {
     pub resynthesized: bool,
     /// Wall-clock seconds of the whole flow.
     pub cpu_seconds: f64,
+    /// Per-stage solver timings and candidate counters.
+    pub stage: StageStats,
+    /// Evaluation threads the solver used.
+    pub jobs: usize,
 }
 
 impl fmt::Display for FlowReport {
@@ -104,8 +110,30 @@ impl fmt::Display for FlowReport {
             "stg output  : {}",
             if self.resynthesized { "re-synthesized" } else { "state graph only" }
         )?;
+        writeln!(f, "solver      : {} (jobs={})", self.stage, self.jobs)?;
         write!(f, "cpu         : {:.3} s", self.cpu_seconds)
     }
+}
+
+/// Renders the per-stage solver breakdown of a report as an aligned
+/// two-column table (stage name, value); the `rsynth` CLI prints this
+/// after every report.
+pub fn render_stage_table(report: &FlowReport) -> String {
+    let stage = &report.stage;
+    let mut out = String::new();
+    out.push_str(&format!("{:<22} {:>12}\n", "solver stage", "value"));
+    for (label, ms) in [
+        ("conflict maintenance", stage.conflict_ms),
+        ("block search", stage.search_ms),
+        ("partition derivation", stage.partition_ms),
+        ("signal insertion", stage.insert_ms),
+    ] {
+        out.push_str(&format!("{label:<22} {ms:>9.2} ms\n"));
+    }
+    out.push_str(&format!("{:<22} {:>12}\n", "candidates evaluated", stage.candidates_evaluated));
+    out.push_str(&format!("{:<22} {:>12}\n", "candidates pruned", stage.candidates_pruned));
+    out.push_str(&format!("{:<22} {:>12}\n", "evaluation jobs", report.jobs));
+    out
 }
 
 /// Runs the full flow (state graph → CSC resolution → area estimate) on one
@@ -146,6 +174,8 @@ pub fn run_flow(model: &Stg, options: &FlowOptions) -> Result<FlowReport, CscErr
         literals,
         resynthesized: solution.stg.is_some(),
         cpu_seconds: start.elapsed().as_secs_f64(),
+        stage: solution.stats.stage,
+        jobs: solution.stats.jobs,
     })
 }
 
@@ -204,5 +234,20 @@ mod tests {
     fn baseline_options_use_excitation_regions() {
         let options = FlowOptions::baseline();
         assert_eq!(options.solver.candidate_source, csc::CandidateSource::ExcitationRegions);
+    }
+
+    #[test]
+    fn reports_carry_solver_stage_stats() {
+        let mut options = FlowOptions::default();
+        options.solver.jobs = 2;
+        let report = run_flow(&stg::benchmarks::pulser(), &options).unwrap();
+        assert_eq!(report.jobs, 2);
+        assert!(report.stage.candidates_evaluated > 0);
+        let text = report.to_string();
+        assert!(text.contains("solver      :") && text.contains("jobs=2"));
+        let table = render_stage_table(&report);
+        assert!(table.contains("block search"));
+        assert!(table.contains("candidates evaluated"));
+        assert!(table.lines().count() >= 7);
     }
 }

@@ -4,17 +4,18 @@
 //! rsynth --benchmark vme_read              # run a built-in benchmark
 //! rsynth path/to/model.g                   # read an STG in .g format
 //! rsynth --benchmark seq8 --baseline       # excitation-region baseline
+//! rsynth --benchmark counter4 --jobs 4     # parallel candidate evaluation
 //! rsynth --list                            # list built-in benchmarks
 //! rsynth path/to/model.g --write-g out.g   # write the encoded STG back
 //! ```
 
 use std::process::ExitCode;
-use synthkit::{run_flow, FlowOptions};
+use synthkit::{render_stage_table, run_flow, FlowOptions};
 
 fn print_usage() {
     eprintln!(
         "usage: rsynth [<model.g>] [--benchmark <name>] [--baseline] [--fw <n>] \
-         [--enlarge] [--no-area] [--write-g <path>] [--list]"
+         [--jobs <n>] [--enlarge] [--no-area] [--write-g <path>] [--list]"
     );
 }
 
@@ -79,6 +80,16 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--jobs" => {
+                index += 1;
+                match args.get(index).and_then(|v| v.parse().ok()) {
+                    Some(jobs) => options.solver.jobs = jobs,
+                    None => {
+                        eprintln!("--jobs needs an integer (0 = auto, 1 = sequential)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--benchmark" => {
                 index += 1;
                 benchmark = args.get(index).cloned();
@@ -127,6 +138,7 @@ fn main() -> ExitCode {
     match run_flow(&model, &options) {
         Ok(report) => {
             println!("{report}");
+            println!("\n{}", render_stage_table(&report));
             if let Some(path) = write_g {
                 // Re-solve keeping the STG so we can serialise it.
                 let solution = csc::solve_stg(&model, &options.solver);

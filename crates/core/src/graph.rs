@@ -78,6 +78,10 @@ impl EncodedGraph {
     }
 
     /// Returns `true` if Complete State Coding holds.
+    ///
+    /// Allocates a fresh scratch; the solver pipeline never calls this in
+    /// its loop (it maintains the conflict list incrementally), so the
+    /// convenience form is fine for assertions and reports.
     pub fn complete_state_coding_holds(&self) -> bool {
         !crate::conflicts::has_conflict(self, &mut crate::conflicts::ConflictScratch::new())
     }
@@ -85,7 +89,8 @@ impl EncodedGraph {
     /// Returns `true` if Unique State Coding holds (no two states share a
     /// code at all).
     pub fn unique_state_coding_holds(&self) -> bool {
-        let mut seen = std::collections::HashSet::new();
+        // FxHash, not SipHash: codes are program-generated integers.
+        let mut seen = bdd::FxHashSet::default();
         self.codes.iter().all(|c| seen.insert(*c))
     }
 

@@ -6,6 +6,23 @@ use crate::{CscError, EncodedGraph};
 use stg::{Polarity, Signal, SignalId, SignalKind};
 use ts::{insert_event, InsertionStyle, StateId, StateSet};
 
+/// A state-signal insertion together with its state provenance.
+///
+/// The `origin` map is what makes incremental conflict maintenance
+/// possible: every state of the new graph descends from exactly one state
+/// of the pre-insertion graph (its pre- or post-copy under the two event
+/// insertions), and event insertion preserves the values of all existing
+/// signals, so the new state's code restricted to the old signals equals
+/// its ancestor's code.
+#[derive(Clone, Debug)]
+pub struct InsertedSignal {
+    /// The post-insertion encoded graph (reachable states only, codes
+    /// recomputed and validated).
+    pub graph: EncodedGraph,
+    /// For every state of `graph`, the pre-insertion state it descends from.
+    pub origin: Vec<StateId>,
+}
+
 /// Inserts a new internal signal `name` whose rising transition has
 /// excitation region `partition.er_rise` and whose falling transition has
 /// excitation region `partition.er_fall`, using the event-insertion scheme
@@ -27,6 +44,22 @@ pub fn insert_state_signal(
     partition: &IPartition,
     style: InsertionStyle,
 ) -> Result<EncodedGraph, CscError> {
+    insert_state_signal_traced(graph, name, partition, style).map(|t| t.graph)
+}
+
+/// Like [`insert_state_signal`] but also returns the ancestor map from the
+/// states of the new graph back to the states of `graph`, for incremental
+/// conflict maintenance by the solver.
+///
+/// # Errors
+///
+/// Same as [`insert_state_signal`].
+pub fn insert_state_signal_traced(
+    graph: &EncodedGraph,
+    name: &str,
+    partition: &IPartition,
+    style: InsertionStyle,
+) -> Result<InsertedSignal, CscError> {
     // Insert the rising transition.
     let rise = insert_event(&graph.ts, &partition.er_rise, &format!("{name}+"), style)?;
     // The pre-copies of the first insertion keep their original indices, so
@@ -50,16 +83,35 @@ pub fn insert_state_signal(
 
     // Drop any state the insertion left unreachable (possible with the
     // `Early` style) and recompute all codes, which also checks consistency.
-    let (ts, _) = fall.ts.restricted_to_reachable();
+    let (ts, old_of_new) = fall.ts.restricted_to_reachable();
+    // Ancestry: final state → state of `fall.ts` → state of `rise.ts` →
+    // state of the original graph.
+    let origin = old_of_new
+        .iter()
+        .map(|&in_fall| rise.origin[fall.origin[in_fall.index()].index()])
+        .collect();
     let mut result = EncodedGraph { ts, codes: Vec::new(), signals, event_edges };
     result.codes = vec![0; result.ts.num_states()];
     result.recompute_codes(name)?;
-    Ok(result)
+    Ok(InsertedSignal { graph: result, origin })
 }
 
 /// Convenience: the number of states of `graph` whose code equals `code`.
+///
+/// Iterative callers should prefer [`states_with_code_into`] (buffer reuse)
+/// or the code index a [`crate::ConflictScratch`] holds after a bucketing
+/// pass ([`crate::ConflictScratch::states_with_code`]).
 pub fn states_with_code(graph: &EncodedGraph, code: u64) -> Vec<StateId> {
-    (0..graph.num_states()).map(StateId::from).filter(|&s| graph.code(s) == code).collect()
+    let mut out = Vec::new();
+    states_with_code_into(graph, code, &mut out);
+    out
+}
+
+/// Collects the states of `graph` whose code equals `code` into `out`
+/// (cleared first, capacity retained across calls).
+pub fn states_with_code_into(graph: &EncodedGraph, code: u64, out: &mut Vec<StateId>) {
+    out.clear();
+    out.extend((0..graph.num_states()).map(StateId::from).filter(|&s| graph.code(s) == code));
 }
 
 #[cfg(test)]

@@ -26,6 +26,18 @@
 //!    concurrency of the inserted signal and re-synthesizing a Petri net so
 //!    the designer gets an STG back rather than a flat state graph.
 //!
+//! The iteration is organised as a staged pipeline owned by a
+//! [`SolverContext`] ([`context`]) that lives across insertion iterations:
+//! it holds the [`ConflictScratch`] (code buckets + mask buffer, doubling
+//! as the code → states index), maintains the conflict list *incrementally*
+//! after each insertion — only states descending from shared or split codes
+//! are re-bucketed, never the whole graph; see
+//! [`conflicts::refresh_conflicts_after_insertion`] for the invariant — and
+//! evaluates candidate blocks on [`SolverConfig::jobs`] threads with a
+//! deterministic reduction, so the solution is byte-identical for every
+//! thread count.  Per-stage wall-clock times and candidate counters are
+//! reported in [`SolveStats::stage`].
+//!
 //! An excitation-region-only baseline in the style of ASSASSIN
 //! ([`SolverConfig::candidate_source`]) is provided for the Table 2
 //! comparison.
@@ -47,6 +59,7 @@
 #![warn(missing_docs)]
 
 pub mod conflicts;
+pub mod context;
 mod error;
 mod graph;
 pub mod insert;
@@ -54,12 +67,17 @@ pub mod partition;
 pub mod search;
 pub mod solver;
 
-pub use conflicts::{conflict_pairs, conflict_pairs_with, ConflictScratch, CscConflict};
+pub use conflicts::{
+    conflict_pairs, conflict_pairs_with, refresh_conflicts_after_insertion, ConflictScratch,
+    CscConflict,
+};
+pub use context::SolverContext;
 pub use error::CscError;
 pub use graph::EncodedGraph;
-pub use insert::insert_state_signal;
+pub use insert::{insert_state_signal, insert_state_signal_traced, InsertedSignal};
 pub use partition::IPartition;
-pub use search::{find_best_block, CandidateSource, Cost};
+pub use search::{find_best_block, find_best_block_with, CandidateSource, Cost, SearchStats};
 pub use solver::{
     solve_state_graph, solve_stg, verify_solution, CscSolution, SolveStats, SolverConfig,
+    StageStats, VerifyDiagnostic,
 };

@@ -40,19 +40,15 @@ pub fn minimal_well_formed_exit_border(ts: &TransitionSystem, set: &StateSet) ->
     let mut border = ts.exit_border(set);
     // Close forward: a successor (inside the set) of a border state must be
     // in the border too, otherwise there would be a transition from the
-    // border back into the interior.
-    loop {
-        let mut changed = false;
-        for s in border.clone().iter() {
-            for &(_, target) in ts.successors(s) {
-                if set.contains(target) && !border.contains(target) {
-                    border.insert(target);
-                    changed = true;
-                }
+    // border back into the interior.  A worklist of newly added states
+    // avoids re-cloning and re-sweeping the whole border every round —
+    // this runs once per scored candidate in the solver hot loop.
+    let mut worklist: Vec<ts::StateId> = border.iter().collect();
+    while let Some(s) = worklist.pop() {
+        for &(_, target) in ts.successors(s) {
+            if set.contains(target) && border.insert(target) {
+                worklist.push(target);
             }
-        }
-        if !changed {
-            break;
         }
     }
     border

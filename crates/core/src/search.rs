@@ -12,12 +12,20 @@
 //! 3. the estimated logic complexity (trigger-event count of the new
 //!    signal's excitation regions) is minimised,
 //! 4. ties are broken towards balanced partitions.
+//!
+//! Candidate evaluation is embarrassingly parallel: each round first
+//! *gathers* the deduplicated candidate sets (sequentially, so the dedup
+//! order is fixed), then scores them on `jobs` scoped threads in input
+//! order, then *reduces* sequentially.  Because the scored vector preserves
+//! input order and every sort is stable, the chosen block is byte-identical
+//! to the one the sequential path picks — the property-test suite asserts
+//! this across the benchmark suite and randomized STGs.
 
 use crate::conflicts::CscConflict;
 use crate::partition::IPartition;
 use crate::EncodedGraph;
 use regions::{adjacent_bricks, is_sip_set, Brick, BrickKind};
-use ts::{EventId, SetDedup, StateSet};
+use ts::{EventId, SetDedup, StateId, StateSet};
 
 /// Which candidate bricks the search may use.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
@@ -129,6 +137,15 @@ fn delays_inputs(graph: &EncodedGraph, set: &StateSet) -> bool {
 /// under successors within `side` (well-formedness) and must stay inside
 /// `side`; input events may never be delayed.
 ///
+/// The closure runs over a worklist of newly added states instead of
+/// cloning the set on every sweep — this is the hottest allocation site of
+/// `evaluate_block`, which runs once per candidate.  Running the forward
+/// closure to its fixpoint *before* the uniform-delay check (instead of
+/// interleaving partial sweeps with it) also makes the check precise: a
+/// transition "exits" only when it truly leaves `side`, never because its
+/// in-`side` target had not been absorbed yet, so fewer candidates are
+/// spuriously rejected or over-grown than in earlier revisions.
+///
 /// Returns `None` when no such repair exists within `side`.
 fn repair_excitation_region(
     graph: &EncodedGraph,
@@ -140,20 +157,25 @@ fn repair_excitation_region(
     if !er.is_subset(side) {
         return None;
     }
+    let mut worklist: Vec<StateId> = Vec::new();
     loop {
-        let mut changed = false;
         // Well-formedness: successors inside `side` of ER states must be in
         // the ER (no transition from the border back into the interior).
-        for s in er.clone().iter() {
+        // The full forward closure runs before the uniform-delay check so
+        // that "exits the ER" below can only mean "leaves `side`", never an
+        // interior state the closure was still about to absorb.
+        worklist.clear();
+        worklist.extend(er.iter());
+        while let Some(s) = worklist.pop() {
             for &(_, target) in ts.successors(s) {
-                if side.contains(target) && !er.contains(target) {
-                    er.insert(target);
-                    changed = true;
+                if side.contains(target) && er.insert(target) {
+                    worklist.push(target);
                 }
             }
         }
         // Uniform delay: an event with a transition exiting the ER must have
         // every excitation region it shares states with fully inside the ER.
+        let mut changed = false;
         for e in 0..ts.num_events() {
             let e = EventId::from(e);
             let exits = ts
@@ -274,24 +296,94 @@ pub fn excitation_region_bricks(graph: &EncodedGraph) -> Vec<Brick> {
     bricks
 }
 
+/// Counters describing one frontier-search run, threaded into
+/// [`crate::SolveStats`] by the solver pipeline.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Candidate blocks actually scored with [`evaluate_block`].
+    pub evaluated: usize,
+    /// Candidate blocks skipped before scoring (duplicate state sets or
+    /// degenerate full-space unions).
+    pub pruned: usize,
+}
+
+/// Scores `blocks` in input order, fanning the work out over `jobs` scoped
+/// threads when it is worth it.
+///
+/// The output vector is index-aligned with the input regardless of `jobs`,
+/// so every downstream (stable) sort and reduction sees the exact sequence
+/// the sequential path produces — parallelism never changes the selected
+/// block.
+fn evaluate_blocks(
+    graph: &EncodedGraph,
+    conflicts: &[CscConflict],
+    blocks: &[&StateSet],
+    jobs: usize,
+) -> Vec<BlockCandidate> {
+    // Below this many candidates the spawn overhead dominates any win.
+    const MIN_PARALLEL: usize = 16;
+    if jobs <= 1 || blocks.len() < MIN_PARALLEL.max(2 * jobs) {
+        return blocks.iter().map(|b| evaluate_block(graph, conflicts, b)).collect();
+    }
+    let mut results: Vec<Option<BlockCandidate>> = (0..blocks.len()).map(|_| None).collect();
+    let chunk = blocks.len().div_ceil(jobs);
+    std::thread::scope(|scope| {
+        for (block_chunk, result_chunk) in blocks.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (block, slot) in block_chunk.iter().zip(result_chunk.iter_mut()) {
+                    *slot = Some(evaluate_block(graph, conflicts, block));
+                }
+            });
+        }
+    });
+    results.into_iter().map(|c| c.expect("every chunk was evaluated")).collect()
+}
+
 /// Runs the frontier search of Fig. 4 and returns the best block found, or
 /// `None` if no candidate solves at least one conflict with a valid,
 /// speed-independence-preserving insertion.
+///
+/// Sequential convenience wrapper over [`find_best_block_with`].
 pub fn find_best_block(
     graph: &EncodedGraph,
     conflicts: &[CscConflict],
     bricks: &[Brick],
     frontier_width: usize,
 ) -> Option<BlockCandidate> {
+    find_best_block_with(graph, conflicts, bricks, frontier_width, 1, &mut SearchStats::default())
+}
+
+/// Runs the frontier search of Fig. 4 with `jobs` evaluation threads,
+/// accumulating candidate counters into `stats`.
+///
+/// Every round gathers its deduplicated candidate sets sequentially,
+/// evaluates them in input order via [`evaluate_blocks`], and reduces
+/// sequentially, so the returned block is identical for every `jobs` value.
+pub fn find_best_block_with(
+    graph: &EncodedGraph,
+    conflicts: &[CscConflict],
+    bricks: &[Brick],
+    frontier_width: usize,
+    jobs: usize,
+    stats: &mut SearchStats,
+) -> Option<BlockCandidate> {
     if conflicts.is_empty() || bricks.is_empty() {
         return None;
     }
     let mut seen = SetDedup::new();
-    let mut scored: Vec<BlockCandidate> = bricks
+    let seeds: Vec<&StateSet> = bricks
         .iter()
-        .filter(|b| seen.insert(&b.states))
-        .map(|b| evaluate_block(graph, conflicts, &b.states))
+        .filter(|b| {
+            let fresh = seen.insert(&b.states);
+            if !fresh {
+                stats.pruned += 1;
+            }
+            fresh
+        })
+        .map(|b| &b.states)
         .collect();
+    stats.evaluated += seeds.len();
+    let mut scored = evaluate_blocks(graph, conflicts, &seeds, jobs);
     scored.sort_by_key(|a| a.cost);
 
     let mut good_blocks: Vec<BlockCandidate> = scored.clone();
@@ -304,14 +396,47 @@ pub fn find_best_block(
     // larger blocks, so termination is guaranteed anyway.
     for _ in 0..graph.num_states() {
         let mut new_frontier: Vec<BlockCandidate> = Vec::new();
-        for bl in &frontier {
-            for br in adjacent_bricks(&graph.ts, &bl.states, bricks) {
-                let grown = bl.states.union(&br.states);
-                if grown.len() == graph.num_states() || !seen.insert(&grown) {
-                    continue;
+        if jobs <= 1 {
+            // Sequential path: evaluate each grown block as it is gathered,
+            // never materialising the round's candidate sets.
+            for bl in &frontier {
+                for br in adjacent_bricks(&graph.ts, &bl.states, bricks) {
+                    let grown = bl.states.union(&br.states);
+                    if grown.len() == graph.num_states() || !seen.insert(&grown) {
+                        stats.pruned += 1;
+                        continue;
+                    }
+                    stats.evaluated += 1;
+                    let candidate = evaluate_block(graph, conflicts, &grown);
+                    if candidate.cost < bl.cost {
+                        good_blocks.push(candidate.clone());
+                        new_frontier.push(candidate);
+                    }
                 }
-                let candidate = evaluate_block(graph, conflicts, &grown);
-                if candidate.cost < bl.cost {
+            }
+        } else {
+            // Gather phase: deduplicate the grown blocks of this round in
+            // the same frontier × adjacent-brick order the sequential path
+            // visits, so the dedup decisions are identical.
+            let mut grown_blocks: Vec<(usize, StateSet)> = Vec::new();
+            for (parent, bl) in frontier.iter().enumerate() {
+                for br in adjacent_bricks(&graph.ts, &bl.states, bricks) {
+                    let grown = bl.states.union(&br.states);
+                    if grown.len() == graph.num_states() || !seen.insert(&grown) {
+                        stats.pruned += 1;
+                        continue;
+                    }
+                    grown_blocks.push((parent, grown));
+                }
+            }
+            // Evaluate phase: parallel, order-preserving.
+            let (parents, sets): (Vec<usize>, Vec<StateSet>) = grown_blocks.into_iter().unzip();
+            let set_refs: Vec<&StateSet> = sets.iter().collect();
+            stats.evaluated += set_refs.len();
+            let evaluated = evaluate_blocks(graph, conflicts, &set_refs, jobs);
+            // Reduce phase: sequential, same accept test as the scalar loop.
+            for (parent, candidate) in parents.into_iter().zip(evaluated) {
+                if candidate.cost < frontier[parent].cost {
                     good_blocks.push(candidate.clone());
                     new_frontier.push(candidate);
                 }
@@ -326,7 +451,8 @@ pub fn find_best_block(
     }
 
     // Greedy merging of good (possibly disconnected) blocks, guided by the
-    // cost function.
+    // cost function.  This is a short dependent chain (each merge feeds the
+    // next), so it stays sequential for every `jobs` value.
     good_blocks.sort_by_key(|a| a.cost);
     let mut best = good_blocks.first()?.clone();
     for other in good_blocks.iter().skip(1).take(32) {
@@ -335,8 +461,10 @@ pub fn find_best_block(
         }
         let merged = best.states.union(&other.states);
         if merged.len() == graph.num_states() {
+            stats.pruned += 1;
             continue;
         }
+        stats.evaluated += 1;
         let candidate = evaluate_block(graph, conflicts, &merged);
         if candidate.cost < best.cost {
             best = candidate;

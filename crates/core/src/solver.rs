@@ -1,4 +1,5 @@
-//! The iterative CSC solver (§5 of the paper).
+//! The iterative CSC solver (§5 of the paper): configuration, statistics,
+//! result types and verification.
 //!
 //! One state signal is inserted per iteration: detect the remaining CSC
 //! conflicts, search for the best insertion block over the brick set,
@@ -8,17 +9,22 @@
 //! state graph so the result can be handed back to the designer as an STG —
 //! the feature the paper singles out as distinguishing `petrify` from
 //! earlier tools.
+//!
+//! The iteration itself lives in [`crate::SolverContext`] (see
+//! [`crate::context`]): a staged pipeline that owns the conflict scratch
+//! and candidate arenas across iterations, maintains the conflict list
+//! incrementally after each insertion, and evaluates candidate blocks on
+//! [`SolverConfig::jobs`] threads.  [`solve_state_graph`] is a thin loop
+//! over that context.
 
-use crate::conflicts::{conflict_pairs_with, ConflictScratch, CscConflict};
+use crate::context::SolverContext;
 use crate::graph::EncodedGraph;
-use crate::insert::insert_state_signal;
-use crate::search::{
-    enlarge_concurrency, excitation_region_bricks, find_best_block, CandidateSource,
-};
+use crate::search::CandidateSource;
 use crate::CscError;
-use regions::{bricks, synthesize_net, RegionConfig};
-use std::time::{Duration, Instant};
-use stg::{Polarity, SignalKind, StateGraph, Stg, TransitionLabel};
+use regions::RegionConfig;
+use std::fmt;
+use std::time::Duration;
+use stg::{Polarity, SignalKind, StateGraph, Stg};
 use ts::InsertionStyle;
 
 /// Configuration of the CSC solver.
@@ -46,6 +52,11 @@ pub struct SolverConfig {
     pub resynthesize: bool,
     /// Name prefix of inserted signals (`csc` gives `csc0`, `csc1`, …).
     pub signal_prefix: String,
+    /// Worker threads for candidate-block evaluation: `1` is fully
+    /// sequential, `0` uses the machine's available parallelism.  The
+    /// selected block — and therefore the whole solution — is identical for
+    /// every value (deterministic reduction).
+    pub jobs: usize,
 }
 
 impl Default for SolverConfig {
@@ -60,6 +71,7 @@ impl Default for SolverConfig {
             region_config: RegionConfig::default(),
             resynthesize: true,
             signal_prefix: "csc".to_owned(),
+            jobs: 1,
         }
     }
 }
@@ -69,6 +81,50 @@ impl SolverConfig {
     /// restricted to excitation-/switching-region candidates.
     pub fn excitation_region_baseline() -> Self {
         SolverConfig { candidate_source: CandidateSource::ExcitationRegions, ..Self::default() }
+    }
+
+    /// The number of evaluation threads this configuration resolves to
+    /// (`jobs == 0` means the machine's available parallelism).
+    pub fn effective_jobs(&self) -> usize {
+        match self.jobs {
+            0 => std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+            n => n,
+        }
+    }
+}
+
+/// Per-stage breakdown of a solver run, accumulated across iterations.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct StageStats {
+    /// Milliseconds spent detecting/maintaining CSC conflicts (the initial
+    /// full pass plus one incremental refresh per insertion).
+    pub conflict_ms: f64,
+    /// Milliseconds spent building bricks and running the frontier search.
+    pub search_ms: f64,
+    /// Milliseconds spent deriving/enlarging the I-partition.
+    pub partition_ms: f64,
+    /// Milliseconds spent inserting state signals (incl. code recomputation).
+    pub insert_ms: f64,
+    /// Candidate blocks scored by the search across all iterations.
+    pub candidates_evaluated: usize,
+    /// Candidate blocks skipped before scoring (duplicates, degenerate
+    /// full-space unions).
+    pub candidates_pruned: usize,
+}
+
+impl fmt::Display for StageStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conflict {:.2} ms | search {:.2} ms | partition {:.2} ms | insert {:.2} ms | \
+             {} candidates evaluated, {} pruned",
+            self.conflict_ms,
+            self.search_ms,
+            self.partition_ms,
+            self.insert_ms,
+            self.candidates_evaluated,
+            self.candidates_pruned
+        )
     }
 }
 
@@ -85,6 +141,10 @@ pub struct SolveStats {
     pub iterations: usize,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
+    /// Per-stage timing and candidate counters.
+    pub stage: StageStats,
+    /// Evaluation threads the run actually used.
+    pub jobs: usize,
 }
 
 /// The result of a successful CSC resolution.
@@ -117,6 +177,11 @@ pub fn solve_stg(model: &Stg, config: &SolverConfig) -> Result<CscSolution, CscE
 /// Solves CSC on a binary-coded state graph by iterative state-signal
 /// insertion.
 ///
+/// This is a thin loop over [`SolverContext`]: construct the context, step
+/// it until no conflict remains, and take the solution.  Callers that want
+/// per-iteration control (inspecting conflicts between insertions, custom
+/// stopping rules) can drive the context directly.
+///
 /// # Errors
 ///
 /// * [`CscError::NoCandidate`] if no valid insertion block can be found for
@@ -126,103 +191,77 @@ pub fn solve_stg(model: &Stg, config: &SolverConfig) -> Result<CscSolution, CscE
 /// * [`CscError::InconsistentInsertion`] if a selected insertion produces an
 ///   inconsistent encoding (indicates an internal invariant violation).
 pub fn solve_state_graph(sg: &StateGraph, config: &SolverConfig) -> Result<CscSolution, CscError> {
-    let start = Instant::now();
-    let mut graph = EncodedGraph::from_state_graph(sg);
-    // One scratch table and one conflict vector serve every iteration: the
-    // code-bucketing pass clears them but keeps their allocations.
-    let mut scratch = ConflictScratch::new();
-    let mut conflicts: Vec<CscConflict> = Vec::new();
-    conflict_pairs_with(&graph, &mut scratch, &mut conflicts);
-    let mut stats = SolveStats {
-        initial_states: graph.num_states(),
-        initial_conflicts: conflicts.len(),
-        ..SolveStats::default()
-    };
-    let mut inserted: Vec<String> = Vec::new();
-
-    while !conflicts.is_empty() {
-        if inserted.len() >= config.max_signals {
-            return Err(CscError::SignalLimitReached {
-                limit: config.max_signals,
-                remaining_conflicts: conflicts.len(),
-            });
-        }
-
-        let brick_set = match config.candidate_source {
-            CandidateSource::RegionBricks => {
-                // Region bricks (minimal regions and pre-/post-region
-                // intersections, Property 3.1 P1/P3) plus the excitation- and
-                // switching-region bricks (P2).
-                let mut set = bricks(&graph.ts, &config.region_config);
-                set.extend(excitation_region_bricks(&graph));
-                set
-            }
-            CandidateSource::ExcitationRegions => excitation_region_bricks(&graph),
-        };
-        let best = find_best_block(&graph, &conflicts, &brick_set, config.frontier_width)
-            .ok_or(CscError::NoCandidate { remaining_conflicts: conflicts.len() })?;
-        let mut partition = best.partition.expect("winning candidates carry a partition");
-        if config.enlarge_concurrency {
-            partition = enlarge_concurrency(&graph, &conflicts, &partition, &brick_set);
-        }
-
-        let name = format!("{}{}", config.signal_prefix, inserted.len());
-        graph = insert_state_signal(&graph, &name, &partition, config.insertion_style)?;
-        inserted.push(name);
-        stats.iterations += 1;
-        conflict_pairs_with(&graph, &mut scratch, &mut conflicts);
-    }
-
-    stats.final_states = graph.num_states();
-    stats.elapsed = start.elapsed();
-
-    let stg =
-        if config.resynthesize { resynthesize(&graph, sg, &config.region_config) } else { None };
-
-    Ok(CscSolution { graph, inserted_signals: inserted, stats, stg })
+    let mut context = SolverContext::new(sg, config);
+    context.run()?;
+    Ok(context.finish())
 }
 
-/// Attempts to re-synthesize an STG (Petri net plus signal labels) from the
-/// final encoded state graph.  Returns `None` when the state graph is not
-/// excitation closed (label splitting would be required).
-fn resynthesize(
-    graph: &EncodedGraph,
-    original: &StateGraph,
-    region_config: &RegionConfig,
-) -> Option<Stg> {
-    let synthesized = synthesize_net(&graph.ts, region_config).ok()?;
-    // Rebuild the label table: net transitions are named after the events of
-    // the encoded graph ("lds+", "csc0-", …).
-    let mut labels = Vec::with_capacity(synthesized.net.num_transitions());
-    for t in 0..synthesized.net.num_transitions() {
-        let name = synthesized.net.transition_name(petri::TransId::from(t)).to_owned();
-        let event = graph.ts.event_id(&name)?;
-        let label = match graph.event_edges[event.index()] {
-            Some((signal, polarity)) => TransitionLabel::Edge { signal, polarity },
-            None => TransitionLabel::Dummy,
-        };
-        labels.push(label);
+/// One verification problem found by [`verify_solution`].
+///
+/// The variants are the categories the test-suite asserts on; the
+/// [`fmt::Display`] implementation renders the same human-readable
+/// messages callers previously received as plain strings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VerifyDiagnostic {
+    /// The final state graph still has CSC conflicts.
+    CscConflictsRemain,
+    /// An inserted signal is declared with a non-internal kind.
+    SignalNotInternal {
+        /// Name of the offending signal.
+        signal: String,
+    },
+    /// An inserted signal is missing from the signal table.
+    SignalMissing {
+        /// Name of the missing signal.
+        signal: String,
+    },
+    /// Hiding the inserted signals does not restore the original traces.
+    ObservableTracesChanged,
+    /// The final state graph is non-deterministic.
+    NonDeterministic,
+    /// The final state graph is non-commutative.
+    NonCommutative,
+}
+
+impl fmt::Display for VerifyDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyDiagnostic::CscConflictsRemain => {
+                write!(f, "final state graph still has CSC conflicts")
+            }
+            VerifyDiagnostic::SignalNotInternal { signal } => {
+                write!(f, "inserted signal {signal} is not internal")
+            }
+            VerifyDiagnostic::SignalMissing { signal } => {
+                write!(f, "inserted signal {signal} missing from the signal table")
+            }
+            VerifyDiagnostic::ObservableTracesChanged => write!(f, "observable traces changed"),
+            VerifyDiagnostic::NonDeterministic => {
+                write!(f, "final state graph is non-deterministic")
+            }
+            VerifyDiagnostic::NonCommutative => write!(f, "final state graph is non-commutative"),
+        }
     }
-    let mut name = String::from("csc_");
-    name.push_str(original.signals().first().map(|s| s.name.as_str()).unwrap_or("model"));
-    Stg::from_labelled_net(synthesized.net, graph.signals.clone(), labels, name).ok()
 }
 
 /// Verifies a solution against its source state graph: CSC must hold, the
 /// observable traces must be unchanged (hiding the inserted signals), and
 /// the inserted signals must all be internal.
 ///
-/// Returns a list of human-readable problems (empty = verified).
-pub fn verify_solution(original: &StateGraph, solution: &CscSolution) -> Vec<String> {
+/// Returns the list of problems found (empty = verified), as typed
+/// [`VerifyDiagnostic`] values so tests can assert on categories instead of
+/// string-matching; render with [`fmt::Display`] for a human.
+pub fn verify_solution(original: &StateGraph, solution: &CscSolution) -> Vec<VerifyDiagnostic> {
     let mut problems = Vec::new();
     if !solution.graph.complete_state_coding_holds() {
-        problems.push("final state graph still has CSC conflicts".to_owned());
+        problems.push(VerifyDiagnostic::CscConflictsRemain);
     }
     for name in &solution.inserted_signals {
         match solution.graph.signals.iter().find(|s| &s.name == name) {
             Some(sig) if sig.kind == SignalKind::Internal => {}
-            Some(_) => problems.push(format!("inserted signal {name} is not internal")),
-            None => problems.push(format!("inserted signal {name} missing from the signal table")),
+            Some(_) => problems.push(VerifyDiagnostic::SignalNotInternal { signal: name.clone() }),
+            None => problems.push(VerifyDiagnostic::SignalMissing { signal: name.clone() }),
         }
     }
     let hidden: Vec<String> = solution
@@ -234,13 +273,13 @@ pub fn verify_solution(original: &StateGraph, solution: &CscSolution) -> Vec<Str
         .collect();
     let hidden_refs: Vec<&str> = hidden.iter().map(String::as_str).collect();
     if !ts::traces::projected_trace_equivalent(&original.ts, &solution.graph.ts, &hidden_refs) {
-        problems.push("observable traces changed".to_owned());
+        problems.push(VerifyDiagnostic::ObservableTracesChanged);
     }
     if !solution.graph.ts.is_deterministic() {
-        problems.push("final state graph is non-deterministic".to_owned());
+        problems.push(VerifyDiagnostic::NonDeterministic);
     }
     if !solution.graph.ts.is_commutative() {
-        problems.push("final state graph is non-commutative".to_owned());
+        problems.push(VerifyDiagnostic::NonCommutative);
     }
     problems
 }
@@ -321,5 +360,46 @@ mod tests {
         let config = SolverConfig { enlarge_concurrency: true, ..SolverConfig::default() };
         let solution = solve_stg(&benchmarks::sequencer(3), &config).unwrap();
         assert!(solution.graph.complete_state_coding_holds());
+    }
+
+    #[test]
+    fn stage_stats_are_populated() {
+        let solution = solve_stg(&benchmarks::vme_read(), &SolverConfig::default()).unwrap();
+        let stage = &solution.stats.stage;
+        assert!(stage.candidates_evaluated > 0, "the search must score candidates");
+        assert!(stage.search_ms >= 0.0 && stage.conflict_ms >= 0.0);
+        assert!(stage.insert_ms > 0.0, "at least one signal was inserted");
+        assert_eq!(solution.stats.jobs, 1);
+        let rendered = stage.to_string();
+        assert!(rendered.contains("search") && rendered.contains("candidates evaluated"));
+    }
+
+    #[test]
+    fn effective_jobs_resolves_auto() {
+        let auto = SolverConfig { jobs: 0, ..SolverConfig::default() };
+        assert!(auto.effective_jobs() >= 1);
+        let four = SolverConfig { jobs: 4, ..SolverConfig::default() };
+        assert_eq!(four.effective_jobs(), 4);
+    }
+
+    #[test]
+    fn verify_diagnostics_render_and_categorise() {
+        let sg = benchmarks::pulser().state_graph(10_000).unwrap();
+        let mut solution = solve_state_graph(&sg, &SolverConfig::default()).unwrap();
+        assert!(verify_solution(&sg, &solution).is_empty());
+        // Sabotage the signal table: the verifier must report the wrong kind
+        // as a typed diagnostic, not a formatted string.
+        let inserted = solution.inserted_signals[0].clone();
+        for signal in &mut solution.graph.signals {
+            if signal.name == inserted {
+                signal.kind = SignalKind::Output;
+            }
+        }
+        let problems = verify_solution(&sg, &solution);
+        assert!(problems.iter().any(
+            |p| matches!(p, VerifyDiagnostic::SignalNotInternal { signal } if *signal == inserted)
+        ));
+        let rendered = problems.iter().map(|p| p.to_string()).collect::<Vec<_>>().join("; ");
+        assert!(rendered.contains("is not internal"));
     }
 }

@@ -200,16 +200,27 @@ impl StateGraph {
     }
 
     /// The signal edges enabled in `state`.
+    ///
+    /// Allocates a fresh vector; iterative callers should reuse a buffer
+    /// via [`StateGraph::enabled_edges_into`].
     pub fn enabled_edges(&self, state: StateId) -> Vec<(SignalId, Polarity)> {
         let mut edges = Vec::new();
+        self.enabled_edges_into(state, &mut edges);
+        edges
+    }
+
+    /// Collects the signal edges enabled in `state` into `out` (cleared
+    /// first, capacity retained across calls) — the allocation-free variant
+    /// for per-state sweeps.
+    pub fn enabled_edges_into(&self, state: StateId, out: &mut Vec<(SignalId, Polarity)>) {
+        out.clear();
         for &(event, _) in self.ts.successors(state) {
             if let TransitionLabel::Edge { signal, polarity } = self.event_labels[event.index()] {
-                if !edges.contains(&(signal, polarity)) {
-                    edges.push((signal, polarity));
+                if !out.contains(&(signal, polarity)) {
+                    out.push((signal, polarity));
                 }
             }
         }
-        edges
     }
 
     /// Bit mask of the signals with an enabled edge in `state`.
@@ -360,6 +371,14 @@ mod tests {
         let req = SignalId::from(0usize);
         assert!(!sg.signal_value(init, req));
         assert_eq!(sg.enabled_edges(init), vec![(req, Polarity::Rise)]);
+        // The buffer-reusing variant clears stale content and agrees with
+        // the allocating one for every state.
+        let mut buffer = vec![(SignalId::from(9usize), Polarity::Toggle)];
+        for s in 0..sg.num_states() {
+            let s = StateId::from(s);
+            sg.enabled_edges_into(s, &mut buffer);
+            assert_eq!(buffer, sg.enabled_edges(s));
+        }
         assert_eq!(sg.enabled_non_input_mask(init), 0, "only the input is enabled initially");
         assert_eq!(sg.code_string(init), "0*0");
         // Codes cycle through 00 -> 10 -> 11 -> 01.

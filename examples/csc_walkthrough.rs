@@ -1,10 +1,11 @@
 //! Step-by-step walkthrough of one CSC-solving iteration (the Fig. 3
 //! scenario): conflict detection, brick generation, block search,
-//! I-partition derivation and event insertion.
+//! I-partition derivation and event insertion — then the staged
+//! [`csc::SolverContext`] pipeline driving the same loop to completion.
 //!
 //! Run with `cargo run -p synthkit --example csc_walkthrough`.
 
-use csc::{conflict_pairs, find_best_block, insert_state_signal, EncodedGraph};
+use csc::{conflict_pairs, find_best_block, insert_state_signal, EncodedGraph, SolverContext};
 use regions::{bricks, RegionConfig};
 use ts::InsertionStyle;
 
@@ -79,5 +80,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nremaining conflicts: {} (the solver iterates until zero)",
         conflict_pairs(&encoded).len()
     );
+
+    // The staged pipeline does exactly the above per iteration, maintaining
+    // the conflict list incrementally after each insertion; stepping it
+    // manually exposes the per-iteration state.
+    println!("\n== the SolverContext pipeline, stepped to completion ==");
+    let mut context = SolverContext::new(&sg, &csc::SolverConfig::default());
+    while !context.is_solved() {
+        let before = context.conflicts().len();
+        context.step()?;
+        println!(
+            "  inserted {:6}  conflicts {} -> {}",
+            context.inserted_signals().last().map(String::as_str).unwrap_or("-"),
+            before,
+            context.conflicts().len()
+        );
+    }
+    let stats = context.stats();
+    println!("  stages: {}", stats.stage);
+    let solution = context.finish();
+    println!("  CSC holds: {}", solution.graph.complete_state_coding_holds());
     Ok(())
 }

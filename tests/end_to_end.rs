@@ -1,7 +1,7 @@
 //! End-to-end integration tests: STG → state graph → CSC resolution →
 //! verification → logic derivation, across the whole benchmark suite.
 
-use csc::{solve_stg, verify_solution, CandidateSource, SolverConfig};
+use csc::{solve_stg, verify_solution, CandidateSource, SolverConfig, VerifyDiagnostic};
 use logic::{estimate_area, output_persistency_violations};
 use synthkit::{run_flow, FlowOptions};
 
@@ -19,6 +19,28 @@ fn every_table2_benchmark_is_solved_and_verified() {
         assert!(solution.graph.complete_state_coding_holds(), "{name}");
         let problems = verify_solution(&sg, &solution);
         assert!(problems.is_empty(), "{name}: {problems:?}");
+    }
+}
+
+#[test]
+fn verification_diagnostics_are_typed_categories() {
+    // A deliberately broken "solution" must be reported through the typed
+    // diagnostic categories rather than free-form strings: reusing the
+    // *original* unsolved graph as the solution leaves the CSC conflicts in
+    // place, which the verifier must classify as `CscConflictsRemain`.
+    let model = stg::benchmarks::pulser();
+    let sg = model.state_graph(100_000).unwrap();
+    let mut solution = solve_stg(&model, &SolverConfig::default()).unwrap();
+    solution.graph = csc::EncodedGraph::from_state_graph(&sg);
+    solution.inserted_signals.clear();
+    let problems = verify_solution(&sg, &solution);
+    assert!(problems.contains(&VerifyDiagnostic::CscConflictsRemain));
+    assert!(
+        !problems.contains(&VerifyDiagnostic::ObservableTracesChanged),
+        "the original graph trivially preserves its own traces"
+    );
+    for p in &problems {
+        assert!(!p.to_string().is_empty(), "every diagnostic renders a message");
     }
 }
 
