@@ -40,10 +40,12 @@
 
 mod cubes;
 pub mod hash;
+mod isop;
 mod manager;
 mod node;
 
 pub use cubes::{Cube, CubeIter};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use isop::IsopCover;
 pub use manager::{Bdd, BddManager, BddStats};
 pub use node::{NodeId, VarId};

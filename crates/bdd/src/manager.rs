@@ -466,7 +466,7 @@ impl BddManager {
     /// The decision variable of `id`; terminals report the sentinel
     /// [`TERMINAL_VAR`], which orders below every real variable level.
     #[inline]
-    fn var_of(&self, id: NodeId) -> VarId {
+    pub(crate) fn var_of(&self, id: NodeId) -> VarId {
         // Terminal arena slots physically carry the sentinel, so no branch
         // on `id.is_terminal()` is needed.
         let node = &self.nodes[id.index()];
@@ -478,7 +478,7 @@ impl BddManager {
         node.var
     }
 
-    fn mk(&mut self, var: VarId, low: NodeId, high: NodeId) -> NodeId {
+    pub(crate) fn mk(&mut self, var: VarId, low: NodeId, high: NodeId) -> NodeId {
         if low == high {
             return low;
         }

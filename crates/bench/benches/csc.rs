@@ -12,7 +12,7 @@
 //! host's available parallelism so single-core baselines (where `jobs > 1`
 //! can only add scheduling overhead) are interpretable.
 
-use bench::harness::{black_box, Criterion};
+use bench::harness::{black_box, warn_if_single_core_jobs, Criterion};
 use csc::{solve_state_graph, CscSolution, SolverConfig};
 use std::time::Duration;
 use stg::benchmarks;
@@ -76,6 +76,9 @@ fn parallel_scaling(c: &mut Criterion) {
     let hardware = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
     for jobs in [1usize, 2, 4] {
         let config = solve_config(jobs);
+        // Single-core hosts (like the recorded-baseline container) cannot
+        // show a speedup on these rows; flag them loudly.
+        warn_if_single_core_jobs(jobs);
         // Parallel evaluation must not change the answer: proven here on the
         // bench model itself, every time the baseline is recorded.
         assert_identical("seq16", &reference, &solve_state_graph(&sg, &config).unwrap());

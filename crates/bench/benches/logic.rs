@@ -1,0 +1,101 @@
+//! Logic back-end bench: explicit vs symbolic derivation on solved graphs,
+//! plus the fully symbolic STG pipeline at widths the explicit path cannot
+//! reach.
+//!
+//! Run with `cargo bench -p bench --bench logic`; set
+//! `BENCH_OUT=BENCH_logic.json` to record the machine-readable baseline
+//! tracked at the repository root.
+//!
+//! The `logic/derive` group times `derive_next_state_functions_with` under
+//! both strategies over solved sequencer / counter / parallel-handshake
+//! graphs, attaching literal/cube counts so quality regressions show up
+//! next to timing regressions (the symbolic engine must never need more
+//! literals).  The `logic/symbolic` group times the STG-driven pipeline
+//! (`derive_next_state_functions_stg`) on state spaces with up to `4^40`
+//! states and 80 signals — no explicit enumeration happens at all there;
+//! the explicit engine cannot represent those workloads (u64 codes, per-
+//! state loops), which is the point of the baseline.
+
+use bench::harness::{black_box, Criterion};
+use csc::{solve_stg, SolverConfig};
+use logic::{derive_next_state_functions_stg, derive_next_state_functions_with, LogicStrategy};
+use std::time::Duration;
+use stg::benchmarks;
+
+fn derive_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logic/derive");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let config = SolverConfig { resynthesize: false, ..SolverConfig::default() };
+    let models = [
+        ("seq10", benchmarks::sequencer(10)),
+        ("counter4", benchmarks::counter(4)),
+        ("par_hs6", benchmarks::parallel_handshakes(6)),
+    ];
+    for (name, model) in models {
+        let solution = solve_stg(&model, &config).unwrap();
+        let graph = solution.graph;
+        for strategy in [LogicStrategy::Explicit, LogicStrategy::Symbolic] {
+            group.bench_function(format!("{name}/{strategy}"), |b| {
+                b.iter(|| {
+                    black_box(
+                        derive_next_state_functions_with(&graph, strategy)
+                            .unwrap()
+                            .total_literals(),
+                    )
+                })
+            });
+            let funcs = derive_next_state_functions_with(&graph, strategy).unwrap();
+            group.attach_metrics(&[
+                ("literals", funcs.total_literals() as f64),
+                ("cubes", funcs.total_cubes() as f64),
+                ("bdd_nodes", funcs.bdd_nodes as f64),
+                ("signals", graph.num_signals() as f64),
+            ]);
+        }
+        // The quality invariant is asserted every time the baseline is
+        // recorded, not just in the test suite.
+        let explicit = derive_next_state_functions_with(&graph, LogicStrategy::Explicit).unwrap();
+        let symbolic = derive_next_state_functions_with(&graph, LogicStrategy::Symbolic).unwrap();
+        assert!(
+            symbolic.total_literals() <= explicit.total_literals(),
+            "{name}: symbolic regressed to {} literals (explicit {})",
+            symbolic.total_literals(),
+            explicit.total_literals()
+        );
+    }
+    group.finish();
+}
+
+fn symbolic_stg_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logic/symbolic");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    // Widths far beyond the explicit path: par_hs16 has 4^16 ≈ 4.3·10⁹
+    // states, par_hs40 has 80 signals (> the u64 code width) and 4^40
+    // states.
+    for n in [16usize, 24, 40] {
+        let model = benchmarks::parallel_handshakes(n);
+        group.bench_function(format!("par_hs{n}"), |b| {
+            b.iter(|| {
+                black_box(
+                    derive_next_state_functions_stg(&model, 0, None).unwrap().total_literals(),
+                )
+            })
+        });
+        let funcs = derive_next_state_functions_stg(&model, 0, None).unwrap();
+        assert_eq!(funcs.total_literals(), n, "par_hs{n}: every ack is one req literal");
+        group.attach_metrics(&[
+            ("literals", funcs.total_literals() as f64),
+            ("cubes", funcs.total_cubes() as f64),
+            ("bdd_nodes", funcs.bdd_nodes as f64),
+            ("signals", (2 * n) as f64),
+        ]);
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = Criterion::new();
+    derive_strategies(&mut c);
+    symbolic_stg_scale(&mut c);
+    c.finish();
+}

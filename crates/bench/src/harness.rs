@@ -23,6 +23,23 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// Prints a one-line warning (and returns `true`) when a `jobs > 1`
+/// benchmark row is about to be recorded on a host with a single hardware
+/// thread: there the row measures thread-scheduling overhead, not parallel
+/// speedup, and must be read together with its `hardware_threads` column.
+pub fn warn_if_single_core_jobs(jobs: usize) -> bool {
+    let hardware = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    if jobs > 1 && hardware == 1 {
+        eprintln!(
+            "warning: jobs={jobs} row recorded on a single-hardware-thread host — \
+             the timing measures scheduling overhead, not parallel speedup"
+        );
+        true
+    } else {
+        false
+    }
+}
+
 /// Statistics of one benchmark id, in nanoseconds per iteration.
 #[derive(Clone, Debug)]
 pub struct SampleStats {
@@ -261,6 +278,16 @@ mod tests {
         assert_eq!(c.results[0].samples, 5);
         assert!(c.results[0].min_ns <= c.results[0].median_ns);
         assert!(c.results[0].median_ns <= c.results[0].max_ns);
+    }
+
+    #[test]
+    fn single_core_warning_only_fires_for_parallel_rows() {
+        // jobs=1 rows are always fine, whatever the host.
+        assert!(!warn_if_single_core_jobs(1));
+        assert!(!warn_if_single_core_jobs(0));
+        // jobs>1 warns exactly on single-hardware-thread hosts.
+        let hardware = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+        assert_eq!(warn_if_single_core_jobs(4), hardware == 1);
     }
 
     #[test]

@@ -2,10 +2,20 @@
 //!
 //! This crate ties the individual libraries together the way the `petrify`
 //! command-line tool does: read an STG, solve Complete State Coding with the
-//! region-based method (or the excitation-region baseline), estimate the
-//! implementation area, and report everything as text.  The [`rsynth`
-//! binary](../rsynth/index.html) is a thin wrapper over [`run_flow`]; the
-//! repository's examples and integration tests use the same entry points.
+//! region-based method (or the excitation-region baseline), derive and
+//! minimize the next-state logic, and report everything as text.  The
+//! [`rsynth` binary](../rsynth/index.html) is a thin wrapper over
+//! [`run_flow`]; the repository's examples and integration tests use the
+//! same entry points.
+//!
+//! Logic derivation is strategy-selectable ([`logic::LogicStrategy`]).
+//! Under the default *symbolic* strategy the flow first tries to stay fully
+//! symbolic: if the input STG already satisfies CSC, the next-state
+//! functions are derived straight from the symbolic reachability engine and
+//! the explicit state graph is never built — which is what lets designs
+//! with more than 64 signals (or state spaces beyond explicit reach)
+//! synthesize end to end.  Only when state signals must be inserted does
+//! the flow fall back to the explicit solver pipeline.
 //!
 //! # Example
 //!
@@ -24,7 +34,7 @@
 use csc::{
     conflict_pairs, solve_stg, CscError, CscSolution, EncodedGraph, SolverConfig, StageStats,
 };
-use logic::estimate_area;
+use logic::{analyze_stg, area_of_functions, estimate_area_with, LogicDiagnostic, LogicStrategy};
 use std::fmt;
 use std::time::Instant;
 use stg::Stg;
@@ -38,11 +48,25 @@ pub struct FlowOptions {
     pub estimate_area: bool,
     /// Upper bound on explicit state-graph size.
     pub max_states: usize,
+    /// Which engine derives the next-state logic.  [`LogicStrategy::Symbolic`]
+    /// (the default) also enables the symbolic-first pipeline that skips the
+    /// explicit state graph entirely when CSC already holds.
+    pub logic: LogicStrategy,
+    /// Signal values in the initial state (bit `i` = signal `i`), used to
+    /// seed the symbolic engines.  The benchmark suite (and `.g` models,
+    /// whose codes are anchored at 0 during propagation) start at 0.
+    pub initial_code: u64,
 }
 
 impl Default for FlowOptions {
     fn default() -> Self {
-        FlowOptions { solver: SolverConfig::default(), estimate_area: true, max_states: 1_000_000 }
+        FlowOptions {
+            solver: SolverConfig::default(),
+            estimate_area: true,
+            max_states: 1_000_000,
+            logic: LogicStrategy::default(),
+            initial_code: 0,
+        }
     }
 }
 
@@ -64,9 +88,14 @@ pub struct FlowReport {
     pub transitions: usize,
     /// Signals of the input STG.
     pub signals: usize,
-    /// Reachable states of the input state graph.
+    /// Reachable states of the input state graph (saturating at
+    /// `usize::MAX`; see [`FlowReport::states_f64`] for wide designs).
     pub states: usize,
-    /// CSC conflict pairs before solving.
+    /// Reachable state count as a float — exact for explicit runs, the
+    /// symbolic engine's count when the explicit graph was never built.
+    pub states_f64: f64,
+    /// CSC conflict pairs before solving (0 when the symbolic-first path
+    /// established that CSC already holds).
     pub initial_conflicts: usize,
     /// Whether CSC holds on the final state graph.
     pub csc_satisfied: bool,
@@ -76,7 +105,19 @@ pub struct FlowReport {
     pub final_states: usize,
     /// Estimated area in literals (`None` when not requested).
     pub literals: Option<usize>,
-    /// Whether a Petri net / STG could be re-synthesized.
+    /// Product terms of the minimized covers (`None` when not requested).
+    pub cubes: Option<usize>,
+    /// Peak BDD node count of the logic derivation (`None` when the
+    /// explicit engine ran or no area was requested).
+    pub logic_bdd_nodes: Option<usize>,
+    /// The engine that derived the logic.
+    pub logic_strategy: LogicStrategy,
+    /// Typed implementability diagnostics (output persistency, CSC).
+    pub logic_diagnostics: Vec<LogicDiagnostic>,
+    /// Whether the flow ran fully symbolically (no explicit state graph).
+    pub fully_symbolic: bool,
+    /// Whether a Petri net / STG could be re-synthesized (for the
+    /// symbolic-first path the input STG itself is the output).
     pub resynthesized: bool,
     /// Wall-clock seconds of the whole flow.
     pub cpu_seconds: f64,
@@ -92,18 +133,37 @@ impl fmt::Display for FlowReport {
         writeln!(
             f,
             "input       : {} places, {} transitions, {} signals, {} states",
-            self.places, self.transitions, self.signals, self.states
+            self.places,
+            self.transitions,
+            self.signals,
+            render_state_count(self.states, self.states_f64)
         )?;
         writeln!(f, "conflicts   : {}", self.initial_conflicts)?;
         writeln!(
             f,
             "encoding    : {} state signal(s) inserted, {} states, CSC {}",
             self.inserted_signals,
-            self.final_states,
+            render_state_count(self.final_states, self.states_f64),
             if self.csc_satisfied { "satisfied" } else { "NOT satisfied" }
         )?;
         if let Some(literals) = self.literals {
-            writeln!(f, "area        : {literals} literals")?;
+            write!(f, "area        : {literals} literals")?;
+            if let Some(cubes) = self.cubes {
+                write!(f, ", {cubes} cubes")?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(
+            f,
+            "logic       : {} engine{}",
+            self.logic_strategy,
+            match self.logic_bdd_nodes {
+                Some(nodes) => format!(", {nodes} bdd nodes"),
+                None => String::new(),
+            }
+        )?;
+        for diagnostic in &self.logic_diagnostics {
+            writeln!(f, "  !! {diagnostic}")?;
         }
         writeln!(
             f,
@@ -112,6 +172,16 @@ impl fmt::Display for FlowReport {
         )?;
         writeln!(f, "solver      : {} (jobs={})", self.stage, self.jobs)?;
         write!(f, "cpu         : {:.3} s", self.cpu_seconds)
+    }
+}
+
+/// Renders a state count, falling back to scientific notation when the
+/// explicit counter saturated.
+fn render_state_count(count: usize, count_f64: f64) -> String {
+    if count == usize::MAX {
+        format!("{count_f64:.3e}")
+    } else {
+        count.to_string()
     }
 }
 
@@ -133,11 +203,28 @@ pub fn render_stage_table(report: &FlowReport) -> String {
     out.push_str(&format!("{:<22} {:>12}\n", "candidates evaluated", stage.candidates_evaluated));
     out.push_str(&format!("{:<22} {:>12}\n", "candidates pruned", stage.candidates_pruned));
     out.push_str(&format!("{:<22} {:>12}\n", "evaluation jobs", report.jobs));
+    out.push_str(&format!("{:<22} {:>12}\n", "logic engine", report.logic_strategy.to_string()));
+    if let Some(literals) = report.literals {
+        out.push_str(&format!("{:<22} {:>12}\n", "logic literals", literals));
+    }
+    if let Some(cubes) = report.cubes {
+        out.push_str(&format!("{:<22} {:>12}\n", "logic cubes", cubes));
+    }
+    if let Some(nodes) = report.logic_bdd_nodes {
+        out.push_str(&format!("{:<22} {:>12}\n", "logic bdd nodes", nodes));
+    }
     out
 }
 
-/// Runs the full flow (state graph → CSC resolution → area estimate) on one
-/// STG.
+/// Runs the full flow (state graph → CSC resolution → logic derivation) on
+/// one STG.
+///
+/// Under [`LogicStrategy::Symbolic`] the flow first attempts the fully
+/// symbolic pipeline (reachability, CSC check and cover extraction on BDDs,
+/// no explicit state graph); it falls back to the explicit solver exactly
+/// when that pipeline reports a CSC conflict that needs state signals — or
+/// cannot converge — so wide conflict-free designs never pay for explicit
+/// enumeration.
 ///
 /// # Errors
 ///
@@ -146,6 +233,42 @@ pub fn render_stage_table(report: &FlowReport) -> String {
 pub fn run_flow(model: &Stg, options: &FlowOptions) -> Result<FlowReport, CscError> {
     let start = Instant::now();
     let (places, transitions, signals) = model.stats();
+
+    if options.logic == LogicStrategy::Symbolic {
+        // Symbolic-first: one analysis yields the functions, the
+        // persistency diagnostics and the state counts; success proves CSC
+        // holds.
+        if let Ok(analysis) = analyze_stg(model, options.initial_code, None) {
+            let area = area_of_functions(&analysis.functions);
+            let states_f64 = analysis.markings;
+            let states = saturating_usize(states_f64);
+            return Ok(FlowReport {
+                name: model.name().to_owned(),
+                places,
+                transitions,
+                signals,
+                states,
+                states_f64,
+                initial_conflicts: 0,
+                csc_satisfied: true,
+                inserted_signals: 0,
+                final_states: states,
+                literals: options.estimate_area.then_some(area.total_literals),
+                cubes: options.estimate_area.then_some(area.total_cubes),
+                logic_bdd_nodes: options.estimate_area.then_some(area.bdd_nodes),
+                logic_strategy: LogicStrategy::Symbolic,
+                logic_diagnostics: analysis.diagnostics,
+                fully_symbolic: true,
+                resynthesized: true, // the input STG is its own implementation spec
+                cpu_seconds: start.elapsed().as_secs_f64(),
+                stage: StageStats::default(),
+                jobs: options.solver.effective_jobs(),
+            });
+        }
+        // Fall through: a CSC conflict (or non-convergence) needs the
+        // explicit pipeline.
+    }
+
     let sg = model.state_graph(options.max_states)?;
     let initial_graph = EncodedGraph::from_state_graph(&sg);
     let initial_conflicts = conflict_pairs(&initial_graph).len();
@@ -154,10 +277,21 @@ pub fn run_flow(model: &Stg, options: &FlowOptions) -> Result<FlowReport, CscErr
     config.max_states = options.max_states;
     let solution: CscSolution = csc::solve_state_graph(&sg, &config)?;
 
-    let literals = if options.estimate_area {
-        estimate_area(&solution.graph).ok().map(|r| r.total_literals)
+    let mut logic_diagnostics = logic::output_persistency_violations(&solution.graph);
+    let (literals, cubes, logic_bdd_nodes) = if options.estimate_area {
+        match estimate_area_with(&solution.graph, options.logic) {
+            Ok(area) => (
+                Some(area.total_literals),
+                Some(area.total_cubes),
+                (options.logic == LogicStrategy::Symbolic).then_some(area.bdd_nodes),
+            ),
+            Err(error) => {
+                logic_diagnostics.push(LogicDiagnostic::from(&error));
+                (None, None, None)
+            }
+        }
     } else {
-        None
+        (None, None, None)
     };
 
     let _ = solve_stg; // re-exported path kept for doc visibility
@@ -167,11 +301,17 @@ pub fn run_flow(model: &Stg, options: &FlowOptions) -> Result<FlowReport, CscErr
         transitions,
         signals,
         states: sg.num_states(),
+        states_f64: sg.num_states() as f64,
         initial_conflicts,
         csc_satisfied: solution.graph.complete_state_coding_holds(),
         inserted_signals: solution.inserted_signals.len(),
         final_states: solution.graph.num_states(),
         literals,
+        cubes,
+        logic_bdd_nodes,
+        logic_strategy: options.logic,
+        logic_diagnostics,
+        fully_symbolic: false,
         resynthesized: solution.stg.is_some(),
         cpu_seconds: start.elapsed().as_secs_f64(),
         stage: solution.stats.stage,
@@ -179,22 +319,31 @@ pub fn run_flow(model: &Stg, options: &FlowOptions) -> Result<FlowReport, CscErr
     })
 }
 
+fn saturating_usize(count: f64) -> usize {
+    if count >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        count.round() as usize
+    }
+}
+
 /// Renders a collection of reports as an aligned text table (one row per
 /// model), in the spirit of Table 2 of the paper.
 pub fn render_table(reports: &[FlowReport]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<18} {:>7} {:>10} {:>8} {:>8} {:>9} {:>8}\n",
-        "benchmark", "states", "conflicts", "signals", "area", "cpu[s]", "csc"
+        "{:<18} {:>10} {:>10} {:>8} {:>8} {:>7} {:>9} {:>8}\n",
+        "benchmark", "states", "conflicts", "signals", "area", "cubes", "cpu[s]", "csc"
     ));
     for r in reports {
         out.push_str(&format!(
-            "{:<18} {:>7} {:>10} {:>8} {:>8} {:>9.3} {:>8}\n",
+            "{:<18} {:>10} {:>10} {:>8} {:>8} {:>7} {:>9.3} {:>8}\n",
             r.name,
-            r.states,
+            render_state_count(r.states, r.states_f64),
             r.initial_conflicts,
             r.inserted_signals,
             r.literals.map_or_else(|| "-".to_owned(), |l| l.to_string()),
+            r.cubes.map_or_else(|| "-".to_owned(), |c| c.to_string()),
             r.cpu_seconds,
             if r.csc_satisfied { "yes" } else { "no" }
         ));
@@ -212,10 +361,111 @@ mod tests {
         assert!(report.csc_satisfied);
         assert!(report.inserted_signals >= 1);
         assert!(report.literals.unwrap() > 0);
+        assert!(report.cubes.unwrap() > 0);
         assert_eq!(report.signals, 5);
+        assert!(!report.fully_symbolic, "vme_read has conflicts: explicit pipeline required");
+        assert!(report.logic_diagnostics.is_empty());
         let text = report.to_string();
         assert!(text.contains("vme_read"));
         assert!(text.contains("CSC satisfied"));
+        assert!(text.contains("symbolic engine"));
+    }
+
+    #[test]
+    fn conflict_free_models_stay_fully_symbolic() {
+        let report =
+            run_flow(&stg::benchmarks::parallel_handshakes(3), &FlowOptions::default()).unwrap();
+        assert!(report.fully_symbolic);
+        assert!(report.csc_satisfied);
+        assert_eq!(report.inserted_signals, 0);
+        assert_eq!(report.states, 64, "4^3 states");
+        assert_eq!(report.literals.unwrap(), 3, "each ack follows its req");
+        let explicit = run_flow(
+            &stg::benchmarks::parallel_handshakes(3),
+            &FlowOptions { logic: LogicStrategy::Explicit, ..FlowOptions::default() },
+        )
+        .unwrap();
+        assert!(!explicit.fully_symbolic);
+        assert_eq!(explicit.literals.unwrap(), report.literals.unwrap());
+    }
+
+    #[test]
+    fn wide_designs_run_end_to_end_symbolically() {
+        // 70 signals: impossible for the explicit path (u64 codes), routine
+        // for the symbolic one.
+        let report =
+            run_flow(&stg::benchmarks::parallel_handshakes(35), &FlowOptions::default()).unwrap();
+        assert!(report.fully_symbolic);
+        assert!(report.csc_satisfied);
+        assert_eq!(report.signals, 70);
+        assert_eq!(report.literals.unwrap(), 35);
+        assert!(report.states_f64 > 1e21, "4^35 states");
+        let text = report.to_string();
+        assert!(text.contains("symbolic engine"));
+    }
+
+    #[test]
+    fn symbolic_first_reports_persistency_diagnostics() {
+        // CSC holds on this free output choice, so the flow stays fully
+        // symbolic — but it must still report that neither output is
+        // persistent instead of silently declaring the design implementable.
+        use stg::{Polarity, SignalKind, StgBuilder};
+        let mut bld = StgBuilder::new("choice");
+        let x = bld.add_signal("x", SignalKind::Input);
+        let a = bld.add_signal("a", SignalKind::Output);
+        let b = bld.add_signal("b", SignalKind::Output);
+        let xp = bld.add_edge(x, Polarity::Rise);
+        let ap = bld.add_edge(a, Polarity::Rise);
+        let xma = bld.add_edge(x, Polarity::Fall);
+        let am = bld.add_edge(a, Polarity::Fall);
+        let bp = bld.add_edge(b, Polarity::Rise);
+        let xmb = bld.add_edge(x, Polarity::Fall);
+        let bm = bld.add_edge(b, Polarity::Fall);
+        let choice = bld.add_place("choice", false);
+        bld.arc_transition_to_place(xp, choice);
+        bld.arc_place_to_transition(choice, ap);
+        bld.arc_place_to_transition(choice, bp);
+        bld.connect(ap, xma, false);
+        bld.connect(xma, am, false);
+        bld.connect(bp, xmb, false);
+        bld.connect(xmb, bm, false);
+        let idle = bld.add_place("idle", true);
+        bld.arc_transition_to_place(am, idle);
+        bld.arc_transition_to_place(bm, idle);
+        bld.arc_place_to_transition(idle, xp);
+        let model = bld.build().unwrap();
+
+        let report = run_flow(&model, &FlowOptions::default()).unwrap();
+        assert!(report.fully_symbolic);
+        assert!(report.csc_satisfied);
+        assert_eq!(report.logic_diagnostics.len(), 2, "{:?}", report.logic_diagnostics);
+        assert!(report
+            .logic_diagnostics
+            .iter()
+            .all(|d| matches!(d, LogicDiagnostic::OutputNotPersistent { .. })));
+        let text = report.to_string();
+        assert!(text.contains("not persistent"), "{text}");
+    }
+
+    #[test]
+    fn wrongly_seeded_symbolic_first_falls_back_to_the_explicit_graph() {
+        // The re-synthesized pulser's signals do not all start at 0, so the
+        // all-zero symbolic seed truncates its reachable space.  The flow
+        // must detect that and fall back to the explicit pipeline instead of
+        // reporting the truncated space's (much smaller) logic.
+        let solution =
+            csc::solve_stg(&stg::benchmarks::pulser(), &csc::SolverConfig::default()).unwrap();
+        let encoded = solution.stg.expect("pulser re-synthesizes");
+        let report = run_flow(&encoded, &FlowOptions::default()).unwrap();
+        assert!(!report.fully_symbolic, "a bad seed must not stay fully symbolic");
+        let explicit = run_flow(
+            &encoded,
+            &FlowOptions { logic: LogicStrategy::Explicit, ..FlowOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(report.literals, explicit.literals);
+        assert_eq!(report.cubes, explicit.cubes);
+        assert_eq!(report.states, explicit.states);
     }
 
     #[test]
@@ -248,6 +498,9 @@ mod tests {
         let table = render_stage_table(&report);
         assert!(table.contains("block search"));
         assert!(table.contains("candidates evaluated"));
-        assert!(table.lines().count() >= 7);
+        assert!(table.contains("logic engine"));
+        assert!(table.contains("logic literals"));
+        assert!(table.contains("logic bdd nodes"));
+        assert!(table.lines().count() >= 10);
     }
 }

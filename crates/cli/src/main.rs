@@ -5,6 +5,8 @@
 //! rsynth path/to/model.g                   # read an STG in .g format
 //! rsynth --benchmark seq8 --baseline       # excitation-region baseline
 //! rsynth --benchmark counter4 --jobs 4     # parallel candidate evaluation
+//! rsynth --benchmark par_hs40 --logic symbolic  # >64 signals, no explicit graph
+//! rsynth --benchmark seq8 --logic explicit # force the per-state logic engine
 //! rsynth --list                            # list built-in benchmarks
 //! rsynth path/to/model.g --write-g out.g   # write the encoded STG back
 //! ```
@@ -15,7 +17,8 @@ use synthkit::{render_stage_table, run_flow, FlowOptions};
 fn print_usage() {
     eprintln!(
         "usage: rsynth [<model.g>] [--benchmark <name>] [--baseline] [--fw <n>] \
-         [--jobs <n>] [--enlarge] [--no-area] [--write-g <path>] [--list]"
+         [--jobs <n>] [--logic symbolic|explicit] [--enlarge] [--no-area] \
+         [--write-g <path>] [--list]"
     );
 }
 
@@ -86,6 +89,17 @@ fn main() -> ExitCode {
                     Some(jobs) => options.solver.jobs = jobs,
                     None => {
                         eprintln!("--jobs needs an integer (0 = auto, 1 = sequential)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--logic" => {
+                index += 1;
+                match args.get(index).map(String::as_str) {
+                    Some("symbolic") => options.logic = logic::LogicStrategy::Symbolic,
+                    Some("explicit") => options.logic = logic::LogicStrategy::Explicit,
+                    _ => {
+                        eprintln!("--logic needs 'symbolic' or 'explicit'");
                         return ExitCode::FAILURE;
                     }
                 }

@@ -1,7 +1,11 @@
-//! Area estimation and speed-independence (output persistency) checks.
+//! Area estimation and speed-independence (output persistency) checks,
+//! reported through typed diagnostics.
 
-use crate::nextstate::{derive_next_state_functions, LogicError};
+use crate::nextstate::{
+    derive_next_state_functions_with, LogicError, LogicStrategy, NextStateFunctions,
+};
 use csc::EncodedGraph;
+use std::fmt;
 use stg::SignalKind;
 use ts::EventId;
 
@@ -26,16 +30,98 @@ pub struct AreaReport {
     pub total_literals: usize,
     /// Sum of all product-term counts.
     pub total_cubes: usize,
+    /// The derivation engine the estimate came from.
+    pub strategy: LogicStrategy,
+    /// Peak BDD node count of the derivation (0 for the explicit engine).
+    pub bdd_nodes: usize,
+}
+
+/// One implementability problem found on an encoded graph, in the style of
+/// `csc::VerifyDiagnostic`: a typed category that tests and reports can
+/// match on instead of parsing strings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogicDiagnostic {
+    /// A non-input signal can be disabled while excited: no hazard-free
+    /// speed-independent implementation exists.
+    OutputNotPersistent {
+        /// The non-persistent signal.
+        signal: String,
+        /// The event that disables it.
+        disabled_by: String,
+    },
+    /// The signal's next-state function is ill-defined because two states
+    /// share the reported code but demand different next values.
+    NotImplementable {
+        /// The signal whose function is ill-defined.
+        signal: String,
+        /// The conflicting code (binary, most significant signal first).
+        code: String,
+    },
+    /// Next-state derivation failed before producing functions (e.g. a
+    /// reachability fixpoint that did not converge).
+    DerivationFailed {
+        /// The underlying error, rendered.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LogicDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicDiagnostic::OutputNotPersistent { signal, disabled_by } => {
+                write!(f, "output '{signal}' is not persistent (disabled by {disabled_by})")
+            }
+            LogicDiagnostic::NotImplementable { signal, code } => {
+                write!(f, "signal '{signal}' is not implementable: CSC conflict on code {code}")
+            }
+            LogicDiagnostic::DerivationFailed { reason } => {
+                write!(f, "logic derivation failed: {reason}")
+            }
+        }
+    }
+}
+
+/// Converts a derivation error into its diagnostic category.
+impl From<&LogicError> for LogicDiagnostic {
+    fn from(error: &LogicError) -> Self {
+        match error {
+            LogicError::CscViolation { signal, code } => {
+                LogicDiagnostic::NotImplementable { signal: signal.clone(), code: code.clone() }
+            }
+            other => LogicDiagnostic::DerivationFailed { reason: other.to_string() },
+        }
+    }
 }
 
 /// Estimates the implementation area of a CSC-satisfying encoded graph as
-/// the total literal count of the minimized next-state functions.
+/// the total literal count of the minimized next-state functions, using the
+/// default (symbolic) strategy.
 ///
 /// # Errors
 ///
 /// Returns [`LogicError::CscViolation`] when the graph does not satisfy CSC.
 pub fn estimate_area(graph: &EncodedGraph) -> Result<AreaReport, LogicError> {
-    let functions = derive_next_state_functions(graph)?;
+    estimate_area_with(graph, LogicStrategy::default())
+}
+
+/// [`estimate_area`] with an explicit engine choice.
+///
+/// # Errors
+///
+/// Same as [`estimate_area`], plus [`LogicError::TooManySignals`] under
+/// [`LogicStrategy::Explicit`].
+pub fn estimate_area_with(
+    graph: &EncodedGraph,
+    strategy: LogicStrategy,
+) -> Result<AreaReport, LogicError> {
+    let functions = derive_next_state_functions_with(graph, strategy)?;
+    Ok(area_of_functions(&functions))
+}
+
+/// Folds derived functions into an [`AreaReport`] (shared by the graph- and
+/// STG-driven pipelines).
+pub fn area_of_functions(functions: &NextStateFunctions) -> AreaReport {
     let signals: Vec<SignalArea> = functions
         .functions
         .iter()
@@ -43,28 +129,50 @@ pub fn estimate_area(graph: &EncodedGraph) -> Result<AreaReport, LogicError> {
         .collect();
     let total_literals = signals.iter().map(|s| s.literals).sum();
     let total_cubes = signals.iter().map(|s| s.cubes).sum();
-    Ok(AreaReport { signals, total_literals, total_cubes })
+    AreaReport {
+        signals,
+        total_literals,
+        total_cubes,
+        strategy: functions.strategy,
+        bdd_nodes: functions.bdd_nodes,
+    }
 }
 
-/// Returns the names of non-input signals that are not persistent in the
-/// state graph: some other event can disable an excited output, which makes
-/// a hazard-free speed-independent implementation impossible.
-pub fn output_persistency_violations(graph: &EncodedGraph) -> Vec<String> {
+/// Returns one typed diagnostic per non-input signal that is not persistent
+/// in the state graph: some other event can disable an excited output,
+/// which makes a hazard-free speed-independent implementation impossible.
+pub fn output_persistency_violations(graph: &EncodedGraph) -> Vec<LogicDiagnostic> {
     let mut violations = Vec::new();
+    let mut seen: Vec<String> = Vec::new();
     for e in 0..graph.ts.num_events() {
         let event = EventId::from(e);
         let Some((signal, _)) = graph.event_edges[e] else { continue };
         if graph.signals[signal.index()].kind == SignalKind::Input {
             continue;
         }
-        if graph.ts.persistency_violation(event).is_some() {
+        if let Some(violation) = graph.ts.persistency_violation(event) {
             let name = graph.signals[signal.index()].name.clone();
-            if !violations.contains(&name) {
-                violations.push(name);
+            if !seen.contains(&name) {
+                seen.push(name.clone());
+                violations.push(LogicDiagnostic::OutputNotPersistent {
+                    signal: name,
+                    disabled_by: graph.ts.event_name(violation.disabled_by).to_owned(),
+                });
             }
         }
     }
     violations
+}
+
+/// All implementability diagnostics of an encoded graph: persistency
+/// violations plus the derivation outcome under `strategy`.  An empty
+/// result means the graph has hazard-free, well-defined logic.
+pub fn logic_diagnostics(graph: &EncodedGraph, strategy: LogicStrategy) -> Vec<LogicDiagnostic> {
+    let mut diagnostics = output_persistency_violations(graph);
+    if let Err(error) = derive_next_state_functions_with(graph, strategy) {
+        diagnostics.push(LogicDiagnostic::from(&error));
+    }
+    diagnostics
 }
 
 #[cfg(test)]
@@ -77,11 +185,15 @@ mod tests {
     fn handshake_area_is_minimal() {
         let graph =
             EncodedGraph::from_state_graph(&benchmarks::handshake().state_graph(100).unwrap());
-        let report = estimate_area(&graph).unwrap();
-        assert_eq!(report.total_literals, 1);
-        assert_eq!(report.signals.len(), 1);
-        assert_eq!(report.signals[0].name, "ack");
+        for strategy in [LogicStrategy::Explicit, LogicStrategy::Symbolic] {
+            let report = estimate_area_with(&graph, strategy).unwrap();
+            assert_eq!(report.total_literals, 1);
+            assert_eq!(report.signals.len(), 1);
+            assert_eq!(report.signals[0].name, "ack");
+            assert_eq!(report.strategy, strategy);
+        }
         assert!(output_persistency_violations(&graph).is_empty());
+        assert!(logic_diagnostics(&graph, LogicStrategy::default()).is_empty());
     }
 
     #[test]
@@ -101,6 +213,15 @@ mod tests {
         let graph =
             EncodedGraph::from_state_graph(&benchmarks::vme_read().state_graph(10_000).unwrap());
         assert!(estimate_area(&graph).is_err());
+        // The failure surfaces as a typed NotImplementable diagnostic.
+        let diagnostics = logic_diagnostics(&graph, LogicStrategy::default());
+        assert!(
+            diagnostics.iter().any(|d| matches!(d, LogicDiagnostic::NotImplementable { .. })),
+            "{diagnostics:?}"
+        );
+        for d in &diagnostics {
+            assert!(!d.to_string().is_empty());
+        }
     }
 
     #[test]

@@ -1,4 +1,13 @@
 //! Cubes and covers (two-level sum-of-products representation).
+//!
+//! A [`Cube`] is stored as two bit planes — a *care* mask (which variables
+//! are fixed) and a *value* plane (their phases) — packed into 64-bit
+//! words.  Covers with at most [`Cube::INLINE_VARS`] variables keep both
+//! planes inline (no heap allocation per cube); wider spaces spill to a
+//! boxed slice, so the representation has no upper limit on the variable
+//! count.  All the relational queries (`covers`, `intersects`,
+//! `contains_minterm`) are word-parallel bit operations rather than
+//! per-literal scans.
 
 use std::fmt;
 
@@ -13,83 +22,225 @@ pub enum Literal {
     DontCare,
 }
 
+/// Words kept inline before spilling to the heap (`2 × 64 = 128` variables).
+const INLINE_WORDS: usize = 2;
+
+/// One bit plane of a cube: inline up to [`INLINE_WORDS`] words, boxed
+/// beyond.  Trailing bits past the variable count are always zero, so the
+/// derived `Eq`/`Hash` are canonical.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Plane {
+    Inline([u64; INLINE_WORDS]),
+    Heap(Box<[u64]>),
+}
+
+impl Plane {
+    fn zeroed(words: usize) -> Self {
+        if words <= INLINE_WORDS {
+            Plane::Inline([0; INLINE_WORDS])
+        } else {
+            Plane::Heap(vec![0; words].into_boxed_slice())
+        }
+    }
+
+    #[inline]
+    fn words(&self) -> &[u64] {
+        match self {
+            Plane::Inline(w) => w,
+            Plane::Heap(w) => w,
+        }
+    }
+
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        match self {
+            Plane::Inline(w) => w,
+            Plane::Heap(w) => w,
+        }
+    }
+}
+
 /// A product term over `n` Boolean variables.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Cube {
-    literals: Vec<Literal>,
+    num_vars: u32,
+    care: Plane,
+    value: Plane,
 }
 
 impl Cube {
+    /// Number of variables representable without heap allocation.
+    pub const INLINE_VARS: usize = INLINE_WORDS * 64;
+
     /// The universal cube (no literal fixed) over `n` variables.
     pub fn universe(n: usize) -> Self {
-        Cube { literals: vec![Literal::DontCare; n] }
+        let words = n.div_ceil(64).max(1);
+        Cube { num_vars: n as u32, care: Plane::zeroed(words), value: Plane::zeroed(words) }
     }
 
     /// A minterm: every variable fixed according to `bits` (bit `i` =
-    /// variable `i`).
+    /// variable `i`).  Variables beyond the range of `u64` (index ≥ 64) are
+    /// fixed to 0; use [`Cube::minterm_words`] to fix them freely.
     pub fn minterm(n: usize, bits: u64) -> Self {
-        Cube {
-            literals: (0..n)
-                .map(|i| if bits & (1 << i) != 0 { Literal::One } else { Literal::Zero })
-                .collect(),
+        Self::minterm_words(n, &[bits])
+    }
+
+    /// A minterm over arbitrarily many variables: bit `i % 64` of word
+    /// `i / 64` gives the value of variable `i`; missing words read as zero.
+    pub fn minterm_words(n: usize, bits: &[u64]) -> Self {
+        let mut cube = Cube::universe(n);
+        let care = cube.care.words_mut();
+        for (w, word) in care.iter_mut().enumerate() {
+            let vars_here = n.saturating_sub(w * 64).min(64);
+            *word = ones(vars_here);
         }
+        let value = cube.value.words_mut();
+        for (w, word) in value.iter_mut().enumerate() {
+            let vars_here = n.saturating_sub(w * 64).min(64);
+            *word = bits.get(w).copied().unwrap_or(0) & ones(vars_here);
+        }
+        cube
+    }
+
+    /// A cube from `(variable, phase)` literals over `n` variables.
+    pub fn from_literals(n: usize, literals: &[(usize, bool)]) -> Self {
+        let mut cube = Cube::universe(n);
+        for &(var, phase) in literals {
+            cube.set_literal(var, if phase { Literal::One } else { Literal::Zero });
+        }
+        cube
     }
 
     /// Number of variables of the cube's space.
     pub fn num_vars(&self) -> usize {
-        self.literals.len()
+        self.num_vars as usize
     }
 
     /// The literal of variable `var`.
     pub fn literal(&self, var: usize) -> Literal {
-        self.literals[var]
+        assert!(var < self.num_vars(), "variable {var} out of range");
+        let (w, bit) = (var / 64, 1u64 << (var % 64));
+        if self.care.words()[w] & bit == 0 {
+            Literal::DontCare
+        } else if self.value.words()[w] & bit != 0 {
+            Literal::One
+        } else {
+            Literal::Zero
+        }
     }
 
     /// Sets the literal of variable `var`.
     pub fn set_literal(&mut self, var: usize, literal: Literal) {
-        self.literals[var] = literal;
+        assert!(var < self.num_vars(), "variable {var} out of range");
+        let (w, bit) = (var / 64, 1u64 << (var % 64));
+        match literal {
+            Literal::DontCare => {
+                self.care.words_mut()[w] &= !bit;
+                // Keep value bits ⊆ care bits so Eq/Hash stay canonical.
+                self.value.words_mut()[w] &= !bit;
+            }
+            Literal::Zero => {
+                self.care.words_mut()[w] |= bit;
+                self.value.words_mut()[w] &= !bit;
+            }
+            Literal::One => {
+                self.care.words_mut()[w] |= bit;
+                self.value.words_mut()[w] |= bit;
+            }
+        }
     }
 
     /// Number of fixed literals (the cube's contribution to the literal
     /// count of a cover).
     pub fn literal_count(&self) -> usize {
-        self.literals.iter().filter(|l| **l != Literal::DontCare).count()
+        self.care.words().iter().map(|w| w.count_ones() as usize).sum()
     }
 
-    /// Returns `true` if the cube contains the given minterm.
+    /// Returns `true` if the cube contains the given minterm (variables
+    /// beyond index 63 read as 0; see [`Cube::contains_minterm_words`]).
     pub fn contains_minterm(&self, bits: u64) -> bool {
-        self.literals.iter().enumerate().all(|(i, l)| match l {
-            Literal::DontCare => true,
-            Literal::One => bits & (1 << i) != 0,
-            Literal::Zero => bits & (1 << i) == 0,
-        })
+        self.contains_minterm_words(&[bits])
+    }
+
+    /// Returns `true` if the cube contains the minterm given as packed
+    /// words (missing words read as zero).
+    pub fn contains_minterm_words(&self, bits: &[u64]) -> bool {
+        self.care
+            .words()
+            .iter()
+            .zip(self.value.words())
+            .enumerate()
+            .all(|(w, (&care, &value))| (value ^ bits.get(w).copied().unwrap_or(0)) & care == 0)
     }
 
     /// Returns `true` if every minterm of `other` is contained in `self`.
     pub fn covers(&self, other: &Cube) -> bool {
-        self.literals.iter().zip(&other.literals).all(|(a, b)| match (a, b) {
-            (Literal::DontCare, _) => true,
-            (a, b) => a == b,
-        })
+        debug_assert_eq!(self.num_vars, other.num_vars);
+        self.care
+            .words()
+            .iter()
+            .zip(self.value.words())
+            .zip(other.care.words().iter().zip(other.value.words()))
+            .all(|((&ac, &av), (&bc, &bv))| {
+                // Every variable `self` fixes must be fixed to the same
+                // phase in `other`.
+                ac & !bc == 0 && (av ^ bv) & ac == 0
+            })
     }
 
     /// Returns `true` if the two cubes share at least one minterm.
     pub fn intersects(&self, other: &Cube) -> bool {
-        self.literals.iter().zip(&other.literals).all(|(a, b)| {
-            !matches!((a, b), (Literal::One, Literal::Zero) | (Literal::Zero, Literal::One))
-        })
+        debug_assert_eq!(self.num_vars, other.num_vars);
+        self.care
+            .words()
+            .iter()
+            .zip(self.value.words())
+            .zip(other.care.words().iter().zip(other.value.words()))
+            .all(|((&ac, &av), (&bc, &bv))| ac & bc & (av ^ bv) == 0)
+    }
+
+    /// The variables on which the two cubes fix opposite phases — the
+    /// witnesses of their disjointness.  Used by the minimizer's conflict
+    /// index.
+    pub fn conflict_vars(&self, other: &Cube) -> Vec<usize> {
+        let mut vars = Vec::new();
+        for (w, ((&ac, &av), (&bc, &bv))) in self
+            .care
+            .words()
+            .iter()
+            .zip(self.value.words())
+            .zip(other.care.words().iter().zip(other.value.words()))
+            .enumerate()
+        {
+            let mut clash = ac & bc & (av ^ bv);
+            while clash != 0 {
+                let bit = clash.trailing_zeros() as usize;
+                vars.push(w * 64 + bit);
+                clash &= clash - 1;
+            }
+        }
+        vars
     }
 
     /// Renders the cube in the usual `10-1` positional notation.
     pub fn to_pattern(&self) -> String {
-        self.literals
-            .iter()
-            .map(|l| match l {
+        (0..self.num_vars())
+            .map(|v| match self.literal(v) {
                 Literal::Zero => '0',
                 Literal::One => '1',
                 Literal::DontCare => '-',
             })
             .collect()
+    }
+}
+
+/// An all-ones mask of the lowest `n ≤ 64` bits.
+#[inline]
+fn ones(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
     }
 }
 
@@ -152,6 +303,12 @@ impl Cover {
         self.cubes.iter().any(|c| c.contains_minterm(bits))
     }
 
+    /// Returns `true` if some cube contains the minterm given as packed
+    /// words.
+    pub fn contains_minterm_words(&self, bits: &[u64]) -> bool {
+        self.cubes.iter().any(|c| c.contains_minterm_words(bits))
+    }
+
     /// Returns `true` if some cube of the cover intersects `cube`.
     pub fn intersects_cube(&self, cube: &Cube) -> bool {
         self.cubes.iter().any(|c| c.intersects(cube))
@@ -196,6 +353,8 @@ mod tests {
         let disjoint = Cube::minterm(3, 0b010);
         assert!(!broad.intersects(&disjoint));
         assert!(!broad.covers(&disjoint));
+        assert_eq!(broad.conflict_vars(&disjoint), vec![0]);
+        assert!(broad.conflict_vars(&narrow).is_empty());
     }
 
     #[test]
@@ -216,5 +375,78 @@ mod tests {
         c.set_literal(1, Literal::Zero);
         c.set_literal(2, Literal::One);
         assert_eq!(format!("{c}"), "-01");
+    }
+
+    #[test]
+    fn set_literal_round_trips_and_stays_canonical() {
+        let mut c = Cube::universe(5);
+        c.set_literal(3, Literal::One);
+        assert_eq!(c.literal(3), Literal::One);
+        c.set_literal(3, Literal::Zero);
+        assert_eq!(c.literal(3), Literal::Zero);
+        c.set_literal(3, Literal::DontCare);
+        assert_eq!(c.literal(3), Literal::DontCare);
+        // Clearing back to don't-care must restore full equality with the
+        // untouched universe (value bits are masked by care bits).
+        assert_eq!(c, Cube::universe(5));
+    }
+
+    #[test]
+    fn wide_cubes_cross_word_boundaries() {
+        // 200 variables: three words, heap-backed.
+        let n = 200;
+        let mut c = Cube::universe(n);
+        assert_eq!(c.literal_count(), 0);
+        for var in [0, 63, 64, 127, 128, 199] {
+            c.set_literal(var, Literal::One);
+        }
+        c.set_literal(70, Literal::Zero);
+        assert_eq!(c.literal_count(), 7);
+        assert_eq!(c.literal(64), Literal::One);
+        assert_eq!(c.literal(70), Literal::Zero);
+        assert_eq!(c.literal(65), Literal::DontCare);
+
+        // Word-array minterms agree with per-variable queries.
+        let bits = [u64::MAX, 0b1, 0];
+        let m = Cube::minterm_words(n, &bits);
+        assert_eq!(m.literal_count(), n);
+        assert_eq!(m.literal(63), Literal::One);
+        assert_eq!(m.literal(64), Literal::One);
+        assert_eq!(m.literal(65), Literal::Zero);
+        assert!(m.contains_minterm_words(&bits));
+        assert!(!m.contains_minterm_words(&[u64::MAX, 0b11, 0]));
+
+        // Covering and intersection across the word boundary.
+        assert!(c.intersects(&m) == (c.conflict_vars(&m).is_empty()));
+        let mut relaxed = m.clone();
+        for var in 0..n {
+            if ![0, 63, 64, 127, 128, 199, 70].contains(&var) {
+                relaxed.set_literal(var, Literal::DontCare);
+            }
+        }
+        assert!(relaxed.covers(&m));
+        assert!(!m.covers(&relaxed));
+    }
+
+    #[test]
+    fn inline_storage_boundary() {
+        // 128 variables still fit inline; 129 spill to the heap.  Behaviour
+        // must be identical either side of the boundary.
+        for n in [128usize, 129] {
+            let mut c = Cube::universe(n);
+            c.set_literal(n - 1, Literal::One);
+            assert_eq!(c.literal(n - 1), Literal::One);
+            assert_eq!(c.literal_count(), 1);
+            let m = Cube::minterm_words(n, &[0, !0, !0]);
+            assert_eq!(m.literal_count(), n);
+            assert!(m.contains_minterm_words(&[0, !0, !0]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn literal_out_of_range_panics() {
+        let c = Cube::universe(4);
+        let _ = c.literal(4);
     }
 }

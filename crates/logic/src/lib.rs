@@ -11,14 +11,23 @@
 //!
 //! Contents:
 //!
-//! * [`Cube`] / [`Cover`] — positional-cube two-level representation,
+//! * [`Cube`] / [`Cover`] — word-array two-level representation with no
+//!   limit on the variable count (inline storage up to
+//!   [`Cube::INLINE_VARS`] variables),
 //! * [`minimize_cover`] — expand + irredundant minimization against an
-//!   OFF-set,
+//!   OFF-set, driven by shared conflict/containment indexes,
 //! * [`NextStateFunctions`] — ON/OFF/don't-care extraction per non-input
-//!   signal ([`derive_next_state_functions`]),
-//! * [`AreaReport`] — literal-count area estimates
-//!   ([`estimate_area`]),
-//! * output-persistency verification ([`output_persistency_violations`]).
+//!   signal ([`derive_next_state_functions`]), with the engine selectable
+//!   through [`LogicStrategy`]: the default *symbolic* engine builds ON/OFF
+//!   sets as BDDs and extracts covers by interval ISOP, the *explicit*
+//!   engine enumerates one minterm per state,
+//! * [`derive_next_state_functions_stg`] — the fully symbolic pipeline:
+//!   reachability, ON/OFF construction and cover extraction all on BDDs,
+//!   with no explicit state enumeration and no 64-signal cap,
+//! * [`AreaReport`] — literal-count area estimates ([`estimate_area`] /
+//!   [`estimate_area_with`]),
+//! * typed implementability diagnostics ([`LogicDiagnostic`],
+//!   [`output_persistency_violations`], [`logic_diagnostics`]).
 //!
 //! # Example
 //!
@@ -40,8 +49,18 @@ mod area;
 mod cube;
 mod minimize;
 mod nextstate;
+mod symbolic;
 
-pub use area::{estimate_area, output_persistency_violations, AreaReport, SignalArea};
+pub use area::{
+    area_of_functions, estimate_area, estimate_area_with, logic_diagnostics,
+    output_persistency_violations, AreaReport, LogicDiagnostic, SignalArea,
+};
 pub use cube::{Cover, Cube, Literal};
 pub use minimize::minimize_cover;
-pub use nextstate::{derive_next_state_functions, LogicError, NextStateFunctions, SignalFunction};
+pub use nextstate::{
+    derive_next_state_functions, derive_next_state_functions_with, LogicError, LogicStrategy,
+    NextStateFunctions, SignalFunction,
+};
+pub use symbolic::{
+    analyze_stg, derive_from_stg as derive_next_state_functions_stg, SymbolicLogicReport,
+};

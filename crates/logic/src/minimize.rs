@@ -8,6 +8,20 @@
 //! the ON-set that never intersects the OFF-set; it is not guaranteed to be
 //! globally minimum, which matches the paper's use of literal counts as an
 //! area *estimate*.
+//!
+//! Both passes run over shared indexes instead of quadratic rescans:
+//!
+//! * **Expansion** keeps, per OFF-set cube, the set of variables on which it
+//!   conflicts with the cube being expanded (the disjointness witnesses).
+//!   Dropping a literal is legal exactly when no OFF cube would lose its
+//!   last witness, so each candidate drop is a constant-time counter check
+//!   plus an incidence-list update — not a fresh cube-against-cover scan.
+//!   Because a growing cube only ever *loses* witnesses, one pass over the
+//!   variables reaches the same fixpoint the old retry loop did.
+//! * **Irredundancy** builds the ON-cube ↔ cover-cube incidence once
+//!   (which cover cubes fully cover each ON cube, which ON cubes each cover
+//!   cube touches) and then decides each removal from per-ON-cube cover
+//!   counters maintained across removals.
 
 use crate::cube::{Cover, Cube, Literal};
 
@@ -30,27 +44,40 @@ pub fn minimize_cover(on_set: &Cover, off_set: &Cover) -> Cover {
         );
     }
 
-    // Expansion: drop literals greedily, preferring the literal whose removal
-    // keeps the cube disjoint from the OFF-set.
+    // --- Expansion over the conflict index -------------------------------
     let mut expanded: Vec<Cube> = Vec::with_capacity(on_set.len());
+    let num_vars = on_set.cubes().first().map_or(0, Cube::num_vars);
+    // Reused per ON cube: off-cube → number of conflict variables left, and
+    // variable → off-cubes witnessed only through it.
+    let mut witness_count: Vec<usize> = Vec::new();
+    let mut off_at_var: Vec<Vec<usize>> = vec![Vec::new(); num_vars];
     for cube in on_set.cubes() {
-        let mut current = cube.clone();
-        let num_vars = current.num_vars();
-        loop {
-            let mut dropped_any = false;
-            for var in 0..num_vars {
-                if current.literal(var) == Literal::DontCare {
-                    continue;
-                }
-                let mut trial = current.clone();
-                trial.set_literal(var, Literal::DontCare);
-                if !off_set.intersects_cube(&trial) {
-                    current = trial;
-                    dropped_any = true;
-                }
+        witness_count.clear();
+        witness_count.resize(off_set.len(), 0);
+        for list in &mut off_at_var {
+            list.clear();
+        }
+        for (j, off) in off_set.cubes().iter().enumerate() {
+            let vars = cube.conflict_vars(off);
+            debug_assert!(!vars.is_empty(), "disjointness was asserted above");
+            witness_count[j] = vars.len();
+            for v in vars {
+                off_at_var[v].push(j);
             }
-            if !dropped_any {
-                break;
+        }
+        let mut current = cube.clone();
+        for (var, witnesses) in off_at_var.iter_mut().enumerate() {
+            if current.literal(var) == Literal::DontCare {
+                continue;
+            }
+            // Dropping `var` is sound iff every OFF cube witnessed at `var`
+            // keeps at least one other witness.
+            if witnesses.iter().all(|&j| witness_count[j] >= 2) {
+                for &j in witnesses.iter() {
+                    witness_count[j] -= 1;
+                }
+                witnesses.clear();
+                current.set_literal(var, Literal::DontCare);
             }
         }
         expanded.push(current);
@@ -65,32 +92,52 @@ pub fn minimize_cover(on_set: &Cover, off_set: &Cover) -> Cover {
         }
     }
 
-    // Irredundant pass: remove cubes all of whose ON-set minterms are covered
-    // by the remaining cubes.  Checking against the original ON-set keeps the
-    // pass exact without enumerating the cube's full minterm set.
-    let mut result: Vec<Cube> = kept.clone();
-    let mut index = 0;
-    while index < result.len() {
-        let candidate = result[index].clone();
-        let others: Vec<&Cube> =
-            result.iter().enumerate().filter(|&(i, _)| i != index).map(|(_, c)| c).collect();
-        let still_covered = on_set.cubes().iter().all(|on_cube| {
-            if !candidate.intersects(on_cube) {
-                return true;
+    // --- Irredundant pass over the containment index ---------------------
+    //
+    // A cube is redundant when every ON-set cube it intersects is entirely
+    // covered by some other remaining cube (ON-set cubes are minterms or
+    // small cubes here, so whole-cube coverage is the right test).  Build
+    // the incidence once; maintain per-ON-cube cover counters as cubes are
+    // removed.
+    let mut cover_count: Vec<usize> = vec![0; on_set.len()];
+    let mut covers: Vec<Vec<usize>> = Vec::with_capacity(kept.len());
+    let mut touches: Vec<Vec<usize>> = Vec::with_capacity(kept.len());
+    for cube in &kept {
+        let mut covered = Vec::new();
+        let mut touched = Vec::new();
+        for (o, on_cube) in on_set.cubes().iter().enumerate() {
+            if cube.intersects(on_cube) {
+                touched.push(o);
+                if cube.covers(on_cube) {
+                    covered.push(o);
+                    cover_count[o] += 1;
+                }
             }
-            // Every ON-set cube that the candidate helps cover must already be
-            // covered by some other cube entirely (ON-set cubes are minterms
-            // or small cubes here, so whole-cube coverage is the right test).
-            others.iter().any(|o| o.covers(on_cube))
-        });
-        if still_covered && result.len() > 1 {
-            result.remove(index);
-        } else {
-            index += 1;
+        }
+        covers.push(covered);
+        touches.push(touched);
+    }
+    let mut alive = vec![true; kept.len()];
+    let mut alive_count = kept.len();
+    for i in 0..kept.len() {
+        if alive_count <= 1 {
+            break;
+        }
+        let fully_covers = |o: usize| covers[i].binary_search(&o).is_ok();
+        let removable =
+            touches[i].iter().all(|&o| cover_count[o] - usize::from(fully_covers(o)) >= 1);
+        if removable {
+            alive[i] = false;
+            alive_count -= 1;
+            for &o in &covers[i] {
+                cover_count[o] -= 1;
+            }
         }
     }
 
-    Cover::from_cubes(result)
+    Cover::from_cubes(
+        kept.into_iter().zip(alive).filter_map(|(c, keep)| keep.then_some(c)).collect(),
+    )
 }
 
 #[cfg(test)]
@@ -135,23 +182,28 @@ mod tests {
         assert!(!min.contains_minterm(0b111));
     }
 
-    #[test]
-    fn cover_remains_correct_on_random_functions() {
-        // SplitMix64 keeps the test dependency-free and deterministic.
-        let mut state = 7u64;
-        let mut next = move || {
-            state = state.wrapping_add(0x9e3779b97f4a7c15);
-            let mut z = state;
+    /// SplitMix64 keeps the tests dependency-free and deterministic.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.0;
             z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
             z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
             z ^ (z >> 31)
-        };
+        }
+    }
+
+    #[test]
+    fn cover_remains_correct_on_random_functions() {
+        let mut rng = Rng(7);
         for _ in 0..20 {
             let n = 4;
             let mut on_bits = Vec::new();
             let mut off_bits = Vec::new();
             for m in 0..(1u64 << n) {
-                match next() % 3 {
+                match rng.next() % 3 {
                     0 => on_bits.push(m),
                     1 => off_bits.push(m),
                     _ => {}
@@ -173,6 +225,49 @@ mod tests {
         }
     }
 
+    /// The truth-table oracle required by the property-test checklist: on
+    /// random functions of up to 10 variables, every ON minterm stays
+    /// covered, no OFF minterm is covered, and the result never has more
+    /// literals than the input.
+    #[test]
+    fn truth_table_oracle_on_up_to_ten_variables() {
+        for seed in 0..30u64 {
+            let mut rng = Rng(seed);
+            let n = 3 + (rng.next() % 8) as usize; // 3..=10 variables
+                                                   // Sparse ON/OFF samples keep the oracle loop fast at 10 vars.
+            let universe = 1u64 << n;
+            let picks = 6 + (rng.next() % 40) as usize;
+            let mut on_bits = Vec::new();
+            let mut off_bits = Vec::new();
+            for _ in 0..picks {
+                let m = rng.next() % universe;
+                match rng.next() % 2 {
+                    0 if !off_bits.contains(&m) && !on_bits.contains(&m) => on_bits.push(m),
+                    1 if !on_bits.contains(&m) && !off_bits.contains(&m) => off_bits.push(m),
+                    _ => {}
+                }
+            }
+            if on_bits.is_empty() {
+                continue;
+            }
+            let on = minterms(n, &on_bits);
+            let off = minterms(n, &off_bits);
+            let min = minimize_cover(&on, &off);
+            // Oracle: evaluate the minimized cover on every relevant minterm.
+            for &m in &on_bits {
+                assert!(min.contains_minterm(m), "seed {seed}: ON minterm {m:b} lost");
+            }
+            for &m in &off_bits {
+                assert!(!min.contains_minterm(m), "seed {seed}: OFF minterm {m:b} covered");
+            }
+            assert!(
+                min.literal_count() <= on.literal_count(),
+                "seed {seed}: minimization increased the literal count"
+            );
+            assert!(min.len() <= on.len(), "seed {seed}: minimization added cubes");
+        }
+    }
+
     #[test]
     #[should_panic(expected = "intersects the OFF-set")]
     fn overlapping_on_and_off_sets_panic() {
@@ -182,9 +277,42 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "intersects the OFF-set")]
+    fn overlapping_cubes_panic_even_when_wide() {
+        // Regression for the ON ∩ OFF panic path on the word-array layer:
+        // the overlap sits past the first word (variable 80).
+        let n = 96;
+        let mut on_cube = Cube::universe(n);
+        on_cube.set_literal(80, Literal::One);
+        let mut off_cube = Cube::universe(n);
+        off_cube.set_literal(80, Literal::One);
+        off_cube.set_literal(81, Literal::Zero);
+        let _ =
+            minimize_cover(&Cover::from_cubes(vec![on_cube]), &Cover::from_cubes(vec![off_cube]));
+    }
+
+    #[test]
     fn empty_on_set_gives_constant_zero() {
         let min = minimize_cover(&Cover::empty(), &minterms(2, &[0b00]));
         assert!(min.is_empty());
         assert_eq!(min.literal_count(), 0);
+    }
+
+    #[test]
+    fn wide_functions_minimize_past_64_variables() {
+        // f = x_70 over 100 variables: ON/OFF described by cubes rather than
+        // minterm enumeration.
+        let n = 100;
+        let mut on_cube = Cube::universe(n);
+        on_cube.set_literal(70, Literal::One);
+        on_cube.set_literal(3, Literal::One);
+        let mut off_cube = Cube::universe(n);
+        off_cube.set_literal(70, Literal::Zero);
+        let on = Cover::from_cubes(vec![on_cube]);
+        let off = Cover::from_cubes(vec![off_cube]);
+        let min = minimize_cover(&on, &off);
+        assert_eq!(min.len(), 1);
+        assert_eq!(min.literal_count(), 1, "only the x70 literal separates ON from OFF");
+        assert_eq!(min.cubes()[0].literal(70), Literal::One);
     }
 }

@@ -1,0 +1,700 @@
+//! Symbolic derivation of next-state functions.
+//!
+//! Both entry points build the ON- and OFF-set of every non-input signal as
+//! BDDs, detect CSC violations as a non-empty `ON ∧ OFF` intersection, and
+//! extract covers with interval ISOP (`isop(ON, ¬OFF)`), so the whole
+//! don't-care space — in particular every unreachable code — is absorbed
+//! without being represented:
+//!
+//! * [`derive_from_graph`] starts from an explicit [`EncodedGraph`] (the
+//!   object the CSC solver produces): each state contributes its code cube
+//!   to the buckets, and all minimization happens on the BDDs.  Compared to
+//!   the explicit engine this replaces the O(cubes² · vars) cover passes
+//!   with ISOP.
+//! * [`derive_from_stg`] never enumerates states at all: the reachable set
+//!   comes from the `stg` symbolic engine, the per-signal excitation
+//!   predicates from its partitioned transition relations (preset-marked
+//!   cubes), and the ON/OFF *code* sets by quantifying the place variables
+//!   away.  This is the path that scales to state spaces (and signal
+//!   counts) the explicit representation cannot touch.
+//!
+//! An ISOP cover is irredundant but its cubes are not necessarily prime, so
+//! a cheap BDD-exact polish pass expands every cube against the OFF-set and
+//! drops cubes whose ON contribution is covered by the rest; this is what
+//! keeps the symbolic literal counts at or below the explicit engine's.
+
+use crate::area::LogicDiagnostic;
+use crate::cube::{Cover, Cube};
+use crate::nextstate::{
+    code_pattern, next_value_masks, LogicError, LogicStrategy, NextStateFunctions, SignalFunction,
+};
+use bdd::{Bdd, BddManager, VarId};
+use csc::EncodedGraph;
+use stg::{Polarity, SignalId, Stg, TransitionLabel};
+use ts::StateId;
+
+/// Derives the next-state functions of an encoded state graph on BDDs.
+///
+/// Semantically identical to the explicit engine; see the module docs for
+/// the differences in mechanism.
+///
+/// # Errors
+///
+/// [`LogicError::CscViolation`] when CSC does not hold.  (Codes of an
+/// [`EncodedGraph`] are 64-bit words, so the explicit 64-signal cap applies
+/// to this entry point by construction; [`derive_from_stg`] has no cap.)
+pub(crate) fn derive_from_graph(graph: &EncodedGraph) -> Result<NextStateFunctions, LogicError> {
+    let num_signals = graph.num_signals();
+    if num_signals > 64 {
+        return Err(LogicError::TooManySignals { count: num_signals });
+    }
+    let mut m = BddManager::with_capacity(num_signals.max(1), 1 << 12);
+
+    // Bucket every state's code cube into ON/OFF per non-input signal.
+    let non_inputs: Vec<usize> =
+        (0..num_signals).filter(|&i| graph.signals[i].kind.is_non_input()).collect();
+    let mut on = vec![m.bottom(); num_signals];
+    let mut off = vec![m.bottom(); num_signals];
+    let mut lits: Vec<(VarId, bool)> = Vec::with_capacity(num_signals);
+    for s in 0..graph.num_states() {
+        let state = StateId::from(s);
+        let code = graph.code(state);
+        lits.clear();
+        lits.extend((0..num_signals).map(|i| (i as VarId, (code >> i) & 1 != 0)));
+        let cube = m.cube_of(&lits);
+        let (known, value) = next_value_masks(graph, state);
+        for &i in &non_inputs {
+            let bit = 1u64 << i;
+            let next = if known & bit != 0 { value & bit != 0 } else { code & bit != 0 };
+            let bucket = if next { &mut on } else { &mut off };
+            bucket[i] = m.or(bucket[i], cube);
+        }
+    }
+
+    let mut functions = Vec::with_capacity(non_inputs.len());
+    for &i in &non_inputs {
+        let name = graph.signals[i].name.clone();
+        let function = extract_function(
+            &mut m,
+            SignalId::from(i),
+            name,
+            on[i],
+            off[i],
+            num_signals,
+            &|var| var as usize,
+        )?;
+        functions.push(function);
+    }
+    Ok(NextStateFunctions {
+        functions,
+        num_variables: num_signals,
+        strategy: LogicStrategy::Symbolic,
+        bdd_nodes: m.num_nodes(),
+    })
+}
+
+/// Derives the next-state functions of a (CSC-satisfying, consistent) STG
+/// without ever enumerating its states.
+///
+/// `initial_code` seeds the signal values of the initial marking (bit `i` =
+/// signal `i`; signals past bit 63 start at 0), matching
+/// [`stg::Stg::symbolic_encoded_state_space`]; `max_iterations` bounds the
+/// reachability fixpoint.
+///
+/// The next value of signal `a` in a reachable state is determined from the
+/// excitation predicates of its transitions (preset-marked cubes): rising —
+/// or toggling out of 0 — demands 1, falling (or toggling out of 1) demands
+/// 0, and an unexcited signal holds its current value.  Projecting the
+/// resulting state sets onto the code variables yields the ON/OFF sets of
+/// the paper; a code in both is exactly a CSC violation.
+///
+/// # Errors
+///
+/// [`LogicError::ReachabilityNotConverged`] if the fixpoint hits its cap,
+/// [`LogicError::InitialCodeMismatch`] if `initial_code` does not label the
+/// reachable markings consistently (wrong seed: some edge is blocked by a
+/// wrong signal value, so markings are lost — or a marking gets two codes),
+/// and [`LogicError::CscViolation`] when CSC does not hold.
+pub fn derive_from_stg(
+    stg: &Stg,
+    initial_code: u64,
+    max_iterations: Option<usize>,
+) -> Result<NextStateFunctions, LogicError> {
+    analyze_stg(stg, initial_code, max_iterations).map(|report| report.functions)
+}
+
+/// Everything the fully symbolic pipeline learns about an STG in one pass:
+/// the derived functions, the implementability diagnostics, and the state
+/// counts (so callers — e.g. the flow facade — do not re-run reachability).
+#[derive(Clone, Debug)]
+pub struct SymbolicLogicReport {
+    /// The derived and minimized next-state functions.
+    pub functions: NextStateFunctions,
+    /// Typed implementability diagnostics (output persistency); empty when
+    /// the specification admits a hazard-free implementation.
+    pub diagnostics: Vec<LogicDiagnostic>,
+    /// Reachable markings of the net (places-only fixpoint), as a float.
+    pub markings: f64,
+}
+
+/// [`derive_from_stg`] plus the symbolic output-persistency check and the
+/// reachable-marking count — one reachability analysis instead of three.
+///
+/// # Errors
+///
+/// Same as [`derive_from_stg`].
+pub fn analyze_stg(
+    stg: &Stg,
+    initial_code: u64,
+    max_iterations: Option<usize>,
+) -> Result<SymbolicLogicReport, LogicError> {
+    let mut space = stg.symbolic_encoded_state_space(initial_code, max_iterations);
+    if !space.converged {
+        return Err(LogicError::ReachabilityNotConverged { iterations: space.iterations });
+    }
+    let num_places = space.num_places();
+    let num_signals = space.num_signals();
+    let place_vars: Vec<VarId> = (0..num_places).map(|p| space.current_var_of_place(p)).collect();
+    let signal_vars: Vec<VarId> =
+        (0..num_signals).map(|s| space.current_var_of_signal(s)).collect();
+    // Inverse map, manager variable → signal index, for the ISOP cubes.
+    let mut signal_of_var = vec![usize::MAX; 2 * (num_places + num_signals)];
+    for (s, &v) in signal_vars.iter().enumerate() {
+        signal_of_var[v as usize] = s;
+    }
+
+    // Guard against a wrong `initial_code`: the signal pre-value literals in
+    // the transition relations would silently block edges, truncating the
+    // encoded space.  The places-only fixpoint is the ground truth: every
+    // reachable marking must appear in the encoded space with exactly one
+    // code.
+    let marking_space = stg.symbolic_state_space(max_iterations);
+    if !marking_space.converged {
+        return Err(LogicError::ReachabilityNotConverged { iterations: marking_space.iterations });
+    }
+    let markings = marking_space.state_count_f64();
+    let coded_states = space.state_count_f64();
+    let reachable = space.reachable();
+    let num_manager_vars = space.manager().num_vars();
+    let m = space.manager_mut();
+    let coded_markings = {
+        let marked_only = m.exists_many(reachable, &signal_vars);
+        // `marked_only` depends on the current place copies only; every
+        // other manager variable is free in the count.
+        let free_vars = (num_manager_vars - num_places) as i32;
+        m.sat_count_f64(marked_only) / 2f64.powi(free_vars)
+    };
+    let close = |a: f64, b: f64| (a - b).abs() <= (a.abs().max(b.abs())) * 1e-9 + 0.25;
+    if !close(markings, coded_markings) || !close(coded_states, coded_markings) {
+        let round = |v: f64| if v >= u128::MAX as f64 { u128::MAX } else { v.round() as u128 };
+        return Err(LogicError::InitialCodeMismatch {
+            markings: round(markings),
+            coded_markings: round(coded_markings),
+            coded_states: round(coded_states),
+        });
+    }
+    let place_quant = m.quant_cube(&place_vars);
+
+    let mut functions = Vec::new();
+    for signal in stg.non_input_signals() {
+        let index = signal.index();
+        let a = m.var(signal_vars[index]);
+        // Excitation predicates per polarity: some transition of the signal
+        // has its whole preset marked.
+        let mut rise = m.bottom();
+        let mut fall = m.bottom();
+        let mut toggle = m.bottom();
+        for t in stg.transitions_of_signal(signal) {
+            let polarity = match stg.label(t) {
+                TransitionLabel::Edge { polarity, .. } => polarity,
+                TransitionLabel::Dummy => continue,
+            };
+            let lits: Vec<(VarId, bool)> =
+                stg.net().preset(t).iter().map(|p| (place_vars[p.index()], true)).collect();
+            let cube = m.cube_of(&lits);
+            let bucket = match polarity {
+                Polarity::Rise => &mut rise,
+                Polarity::Fall => &mut fall,
+                Polarity::Toggle => &mut toggle,
+            };
+            *bucket = m.or(*bucket, cube);
+        }
+        // next = 1 ⟺ rising ∨ toggling out of 0 ∨ (stable at 1: neither
+        // falling nor toggling).
+        let not_a = m.not(a);
+        let toggle_up = m.and(toggle, not_a);
+        let not_fall = m.not(fall);
+        let not_toggle = m.not(toggle);
+        let hold_high = {
+            let quiet = m.and(not_fall, not_toggle);
+            m.and(a, quiet)
+        };
+        let on_pred = {
+            let excited = m.or(rise, toggle_up);
+            m.or(excited, hold_high)
+        };
+        let on_states = m.and(reachable, on_pred);
+        let off_states = m.and_not(reachable, on_pred);
+        // Project away the marking: what remains are the code sets.
+        let on_codes = m.exists_cube(on_states, place_quant);
+        let off_codes = m.exists_cube(off_states, place_quant);
+        let function = extract_function(
+            m,
+            signal,
+            stg.signal(signal).name.clone(),
+            on_codes,
+            off_codes,
+            num_signals,
+            &|var| signal_of_var[var as usize],
+        )?;
+        functions.push(function);
+    }
+    let diagnostics = persistency_diagnostics(stg, m, reachable, &place_vars, &signal_vars);
+    let bdd_nodes = space.manager().num_nodes();
+    Ok(SymbolicLogicReport {
+        functions: NextStateFunctions {
+            functions,
+            num_variables: num_signals,
+            strategy: LogicStrategy::Symbolic,
+            bdd_nodes,
+        },
+        diagnostics,
+        markings,
+    })
+}
+
+/// Symbolic output-persistency check: a non-input edge `t` is violated when
+/// some reachable state enables both `t` and another transition `u` whose
+/// firing disables `t` — structurally, `u` consumes a token `t` needs
+/// (`pre(t) ∩ (pre(u) ∖ post(u)) ≠ ∅`) or switches `t`'s own signal away
+/// from the value `t` requires.  The structural filter keeps the pair scan
+/// cheap; co-enabledness is decided exactly on the reachable set.
+fn persistency_diagnostics(
+    stg: &Stg,
+    m: &mut BddManager,
+    reachable: Bdd,
+    place_vars: &[VarId],
+    signal_vars: &[VarId],
+) -> Vec<LogicDiagnostic> {
+    let net = stg.net();
+    struct TransInfo {
+        enabled: Bdd,
+        pre: Vec<usize>,
+        consumed: Vec<usize>,
+        edge: Option<(usize, Polarity)>,
+    }
+    let infos: Vec<TransInfo> = (0..net.num_transitions())
+        .map(|t| {
+            let t_id = petri::TransId::from(t);
+            let pre: Vec<usize> = net.preset(t_id).iter().map(|p| p.index()).collect();
+            let post: Vec<usize> = net.postset(t_id).iter().map(|p| p.index()).collect();
+            let consumed: Vec<usize> = pre.iter().copied().filter(|p| !post.contains(p)).collect();
+            let edge = match stg.label(t_id) {
+                TransitionLabel::Edge { signal, polarity } => Some((signal.index(), polarity)),
+                TransitionLabel::Dummy => None,
+            };
+            let mut lits: Vec<(VarId, bool)> = pre.iter().map(|&p| (place_vars[p], true)).collect();
+            if let Some((s, polarity)) = edge {
+                match polarity {
+                    Polarity::Rise => lits.push((signal_vars[s], false)),
+                    Polarity::Fall => lits.push((signal_vars[s], true)),
+                    Polarity::Toggle => {}
+                }
+            }
+            let enabled = m.cube_of(&lits);
+            TransInfo { enabled, pre, consumed, edge }
+        })
+        .collect();
+
+    // The value `t` requires on its own signal, and the value `u` leaves the
+    // signal at (None = no constraint / value-independent).
+    let required = |polarity: Polarity| match polarity {
+        Polarity::Rise => Some(false),
+        Polarity::Fall => Some(true),
+        Polarity::Toggle => None,
+    };
+    let mut diagnostics = Vec::new();
+    let mut reported: Vec<String> = Vec::new();
+    for (t, t_info) in infos.iter().enumerate() {
+        let Some((t_signal, t_polarity)) = t_info.edge else { continue };
+        if !stg.signal(SignalId::from(t_signal)).kind.is_non_input() {
+            continue;
+        }
+        let signal_name = &stg.signal(SignalId::from(t_signal)).name;
+        if reported.contains(signal_name) {
+            continue;
+        }
+        for (u, u_info) in infos.iter().enumerate() {
+            if u == t {
+                continue;
+            }
+            let steals_token = t_info.pre.iter().any(|p| u_info.consumed.contains(p));
+            let flips_value = match (required(t_polarity), u_info.edge) {
+                (Some(needed), Some((u_signal, u_polarity))) if u_signal == t_signal => {
+                    match u_polarity {
+                        Polarity::Rise => !needed,
+                        Polarity::Fall => needed,
+                        // A co-enabled toggle starts from the value `t`
+                        // requires and always leaves the opposite one.
+                        Polarity::Toggle => true,
+                    }
+                }
+                _ => false,
+            };
+            if !steals_token && !flips_value {
+                continue;
+            }
+            let both = m.and(t_info.enabled, u_info.enabled);
+            let witness = m.and(reachable, both);
+            if !witness.is_false() {
+                reported.push(signal_name.clone());
+                diagnostics.push(LogicDiagnostic::OutputNotPersistent {
+                    signal: signal_name.clone(),
+                    disabled_by: net.transition_name(petri::TransId::from(u)).to_owned(),
+                });
+                break;
+            }
+        }
+    }
+    diagnostics
+}
+
+/// Checks `on ∧ off = ∅`, extracts the exact ON/OFF covers and the
+/// DC-absorbing minimized cover, and maps the ISOP literals back onto
+/// signal indices via `signal_of_var`.
+fn extract_function(
+    m: &mut BddManager,
+    signal: SignalId,
+    name: String,
+    on: Bdd,
+    off: Bdd,
+    num_signals: usize,
+    signal_of_var: &dyn Fn(VarId) -> usize,
+) -> Result<SignalFunction, LogicError> {
+    let clash = m.and(on, off);
+    if !clash.is_false() {
+        return Err(LogicError::CscViolation {
+            signal: name,
+            code: clash_code(m, clash, num_signals, signal_of_var),
+        });
+    }
+    let upper = m.not(off);
+    let minimized_isop = m.isop(on, upper);
+    let minimized = refine_cover(m, minimized_isop.cubes, on, off);
+    let on_cover = m.isop(on, on).cubes;
+    let off_cover = m.isop(off, off).cubes;
+    Ok(SignalFunction {
+        signal,
+        name,
+        on_set: cubes_to_cover(&on_cover, num_signals, signal_of_var),
+        off_set: cubes_to_cover(&off_cover, num_signals, signal_of_var),
+        minimized: cubes_to_cover(&minimized, num_signals, signal_of_var),
+    })
+}
+
+/// A witness code from the `ON ∧ OFF` intersection, rendered most
+/// significant signal first (unconstrained signals read as 0).
+fn clash_code(
+    m: &BddManager,
+    clash: Bdd,
+    num_signals: usize,
+    signal_of_var: &dyn Fn(VarId) -> usize,
+) -> String {
+    let mut code_bits = vec![false; num_signals];
+    if let Some(lits) = m.one_sat(clash) {
+        for (var, value) in lits {
+            let s = signal_of_var(var);
+            if s < num_signals {
+                code_bits[s] = value;
+            }
+        }
+    }
+    if num_signals <= 64 {
+        let code = code_bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i));
+        code_pattern(code, num_signals)
+    } else {
+        code_bits.iter().rev().map(|&b| if b { '1' } else { '0' }).collect()
+    }
+}
+
+/// Polishes an ISOP cover with BDD-exact passes: greedily expand each cube
+/// against the OFF-set (drop literals while the cube stays disjoint from
+/// it, making the cube prime), then drop cubes whose ON contribution the
+/// rest of the cover already provides.  Both passes only ever reduce the
+/// literal count; correctness is maintained exactly because the checks run
+/// on the ON/OFF BDDs, not on cube lists.
+fn refine_cover(
+    m: &mut BddManager,
+    cubes: Vec<Vec<(VarId, bool)>>,
+    on: Bdd,
+    off: Bdd,
+) -> Vec<Vec<(VarId, bool)>> {
+    let mut expanded: Vec<Vec<(VarId, bool)>> = cubes
+        .into_iter()
+        .map(|mut lits| {
+            let mut i = 0;
+            while i < lits.len() {
+                let mut trial = lits.clone();
+                trial.remove(i);
+                let cube = m.cube_of(&trial);
+                let overlap = m.and(cube, off);
+                if overlap.is_false() {
+                    lits = trial;
+                } else {
+                    i += 1;
+                }
+            }
+            lits
+        })
+        .collect();
+    // Widest-first removal order, ties broken lexicographically, so the
+    // result is deterministic.
+    expanded.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+    let mut alive = vec![true; expanded.len()];
+    let mut alive_count = expanded.len();
+    for i in 0..expanded.len() {
+        if alive_count <= 1 {
+            break;
+        }
+        let mut rest = m.bottom();
+        for (j, lits) in expanded.iter().enumerate() {
+            if j != i && alive[j] {
+                let cube = m.cube_of(lits);
+                rest = m.or(rest, cube);
+            }
+        }
+        let cube = m.cube_of(&expanded[i]);
+        let contribution = m.and(cube, on);
+        if m.implies(contribution, rest) {
+            alive[i] = false;
+            alive_count -= 1;
+        }
+    }
+    expanded.into_iter().zip(alive).filter_map(|(lits, keep)| keep.then_some(lits)).collect()
+}
+
+/// Maps manager-variable cubes onto [`Cube`]s over the signal space.
+fn cubes_to_cover(
+    cubes: &[Vec<(VarId, bool)>],
+    num_signals: usize,
+    signal_of_var: &dyn Fn(VarId) -> usize,
+) -> Cover {
+    cubes
+        .iter()
+        .map(|lits| {
+            let mapped: Vec<(usize, bool)> = lits
+                .iter()
+                .map(|&(var, value)| {
+                    let s = signal_of_var(var);
+                    debug_assert!(s < num_signals, "cover literal on a non-signal variable");
+                    (s, value)
+                })
+                .collect();
+            Cube::from_literals(num_signals, &mapped)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive_next_state_functions_with;
+    use stg::benchmarks;
+
+    fn graph_of(model: &Stg) -> EncodedGraph {
+        EncodedGraph::from_state_graph(&model.state_graph(1_000_000).unwrap())
+    }
+
+    /// Indicator equality of two covers over every code of a (small) space.
+    fn same_semantics(a: &Cover, b: &Cover, num_signals: usize) -> bool {
+        assert!(num_signals <= 16, "exhaustive check only for small spaces");
+        (0..(1u64 << num_signals)).all(|code| a.contains_minterm(code) == b.contains_minterm(code))
+    }
+
+    #[test]
+    fn stg_engine_matches_graph_engines_on_csc_holding_models() {
+        for model in [
+            benchmarks::handshake(),
+            benchmarks::parallel_handshakes(3),
+            benchmarks::parallelizer(3),
+        ] {
+            let graph = graph_of(&model);
+            let initial_code = graph.code(graph.ts.initial());
+            let explicit =
+                derive_next_state_functions_with(&graph, LogicStrategy::Explicit).unwrap();
+            let symbolic =
+                derive_next_state_functions_with(&graph, LogicStrategy::Symbolic).unwrap();
+            let from_stg = derive_from_stg(&model, initial_code, None).unwrap();
+            for (e, (s, g)) in explicit
+                .functions
+                .iter()
+                .zip(symbolic.functions.iter().zip(from_stg.functions.iter()))
+            {
+                assert_eq!(e.name, s.name, "{}", model.name());
+                assert_eq!(e.name, g.name, "{}", model.name());
+                let n = explicit.num_variables;
+                assert!(same_semantics(&e.on_set, &s.on_set, n), "{} {}", model.name(), e.name);
+                assert!(same_semantics(&e.off_set, &s.off_set, n), "{} {}", model.name(), e.name);
+                assert!(same_semantics(&e.on_set, &g.on_set, n), "{} {}", model.name(), e.name);
+                assert!(same_semantics(&e.off_set, &g.off_set, n), "{} {}", model.name(), e.name);
+                assert!(
+                    s.literals() <= e.literals(),
+                    "{} {}: symbolic {} > explicit {}",
+                    model.name(),
+                    e.name,
+                    s.literals(),
+                    e.literals()
+                );
+            }
+        }
+    }
+
+    /// A free choice between two outputs: `x+` releases one token that
+    /// either `a+` or `b+` consumes, and each branch acknowledges through
+    /// its own `x-` instance.  CSC holds (every state has a unique code),
+    /// but firing either output disables the other — the canonical output
+    /// persistency violation.
+    fn output_choice() -> Stg {
+        use stg::{SignalKind, StgBuilder};
+        let mut bld = StgBuilder::new("choice");
+        let x = bld.add_signal("x", SignalKind::Input);
+        let a = bld.add_signal("a", SignalKind::Output);
+        let b = bld.add_signal("b", SignalKind::Output);
+        let xp = bld.add_edge(x, Polarity::Rise);
+        let ap = bld.add_edge(a, Polarity::Rise);
+        let xma = bld.add_edge(x, Polarity::Fall);
+        let am = bld.add_edge(a, Polarity::Fall);
+        let bp = bld.add_edge(b, Polarity::Rise);
+        let xmb = bld.add_edge(x, Polarity::Fall);
+        let bm = bld.add_edge(b, Polarity::Fall);
+        let choice = bld.add_place("choice", false);
+        bld.arc_transition_to_place(xp, choice);
+        bld.arc_place_to_transition(choice, ap);
+        bld.arc_place_to_transition(choice, bp);
+        bld.connect(ap, xma, false);
+        bld.connect(xma, am, false);
+        bld.connect(bp, xmb, false);
+        bld.connect(xmb, bm, false);
+        let idle = bld.add_place("idle", true);
+        bld.arc_transition_to_place(am, idle);
+        bld.arc_transition_to_place(bm, idle);
+        bld.arc_place_to_transition(idle, xp);
+        bld.build().unwrap()
+    }
+
+    #[test]
+    fn persistency_violations_surface_symbolically() {
+        let model = output_choice();
+        let sg = model.state_graph(1_000).unwrap();
+        assert!(sg.complete_state_coding_holds(), "the choice must not hide a CSC conflict");
+        // Ground truth from the explicit graph-level check.
+        let graph = EncodedGraph::from_state_graph(&sg);
+        let mut explicit: Vec<String> = crate::area::output_persistency_violations(&graph)
+            .into_iter()
+            .map(|d| match d {
+                LogicDiagnostic::OutputNotPersistent { signal, .. } => signal,
+                other => panic!("unexpected diagnostic {other:?}"),
+            })
+            .collect();
+        explicit.sort();
+        assert_eq!(explicit, ["a", "b"], "both outputs lose the race");
+        // The fully symbolic analysis must find the same signals.
+        let report = analyze_stg(&model, 0, None).unwrap();
+        let mut symbolic: Vec<String> = report
+            .diagnostics
+            .into_iter()
+            .map(|d| match d {
+                LogicDiagnostic::OutputNotPersistent { signal, .. } => signal,
+                other => panic!("unexpected diagnostic {other:?}"),
+            })
+            .collect();
+        symbolic.sort();
+        assert_eq!(symbolic, explicit);
+        // Persistent models report nothing.
+        let clean = analyze_stg(&benchmarks::parallel_handshakes(3), 0, None).unwrap();
+        assert!(clean.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn stg_engine_detects_csc_violations() {
+        let err = derive_from_stg(&benchmarks::pulser(), 0, None).unwrap_err();
+        assert!(matches!(err, LogicError::CscViolation { .. }), "{err}");
+        // vme_read's conflict also shows up without the explicit graph.
+        let err = derive_from_stg(&benchmarks::vme_read(), 0, None).unwrap_err();
+        assert!(matches!(err, LogicError::CscViolation { .. }), "{err}");
+    }
+
+    #[test]
+    fn wrong_initial_code_is_rejected_not_mislabelled() {
+        // The re-synthesized pulser starts with some signals at 1; seeding
+        // the symbolic engine with all-zeros blocks edges and truncates the
+        // space.  That must surface as InitialCodeMismatch, never as a
+        // (wrong) function set.
+        let solution =
+            csc::solve_stg(&benchmarks::pulser(), &csc::SolverConfig::default()).unwrap();
+        let encoded = solution.stg.expect("pulser re-synthesizes");
+        let sg = encoded.state_graph(10_000).unwrap();
+        let true_code = sg.code(sg.ts.initial());
+        assert_ne!(true_code, 0, "the regression needs a non-zero initial code");
+        let err = derive_from_stg(&encoded, 0, None).unwrap_err();
+        assert!(matches!(err, LogicError::InitialCodeMismatch { .. }), "{err}");
+        // With the correct seed the derivation agrees with the explicit
+        // engine.
+        let funcs = derive_from_stg(&encoded, true_code, None).unwrap();
+        let graph = EncodedGraph::from_state_graph(&sg);
+        let explicit = derive_next_state_functions_with(&graph, LogicStrategy::Explicit).unwrap();
+        assert_eq!(funcs.total_literals(), explicit.total_literals());
+        assert_eq!(funcs.total_cubes(), explicit.total_cubes());
+    }
+
+    #[test]
+    fn stg_engine_reports_non_convergence() {
+        let err = derive_from_stg(&benchmarks::parallel_handshakes(4), 0, Some(1)).unwrap_err();
+        assert!(matches!(err, LogicError::ReachabilityNotConverged { iterations: 1 }), "{err}");
+    }
+
+    #[test]
+    fn wide_designs_derive_past_64_signals() {
+        // 40 independent handshakes: 80 signals, 4^40 states.  Every ack
+        // follows its own request with a single literal.
+        let model = benchmarks::parallel_handshakes(40);
+        let funcs = derive_from_stg(&model, 0, None).unwrap();
+        assert_eq!(funcs.num_variables, 80);
+        assert_eq!(funcs.functions.len(), 40);
+        for f in &funcs.functions {
+            assert_eq!(f.literals(), 1, "{}: ack_i = req_i", f.name);
+            assert_eq!(f.cubes(), 1, "{}", f.name);
+        }
+        assert_eq!(funcs.total_literals(), 40);
+        assert!(funcs.bdd_nodes > 0);
+    }
+
+    #[test]
+    fn minimized_covers_respect_dont_cares() {
+        // The counter's code space is mostly unreachable; the minimized
+        // covers must still separate ON from OFF exactly on the reachable
+        // codes.
+        let model = benchmarks::counter(2);
+        // counter(2) violates CSC before solving, so use the solved graph.
+        let solution = csc::solve_stg(&model, &csc::SolverConfig::default()).unwrap();
+        let graph = solution.graph;
+        let explicit = derive_next_state_functions_with(&graph, LogicStrategy::Explicit).unwrap();
+        let symbolic = derive_next_state_functions_with(&graph, LogicStrategy::Symbolic).unwrap();
+        let n = explicit.num_variables;
+        for (e, s) in explicit.functions.iter().zip(&symbolic.functions) {
+            for cube in e.on_set.cubes() {
+                let bits = (0..n)
+                    .filter(|&i| cube.literal(i) == crate::cube::Literal::One)
+                    .fold(0u64, |acc, i| acc | (1 << i));
+                assert!(s.minimized.contains_minterm(bits), "{}: ON code lost", e.name);
+            }
+            for cube in e.off_set.cubes() {
+                let bits = (0..n)
+                    .filter(|&i| cube.literal(i) == crate::cube::Literal::One)
+                    .fold(0u64, |acc, i| acc | (1 << i));
+                assert!(!s.minimized.contains_minterm(bits), "{}: OFF code covered", e.name);
+            }
+            assert!(s.literals() <= e.literals(), "{}", e.name);
+        }
+    }
+}

@@ -18,8 +18,9 @@ pub enum StgError {
         /// Name of the state-graph state where the contradiction appeared.
         state: String,
     },
-    /// The STG has more signals than the state-coding engine supports
-    /// (codes are packed in a 64-bit word).
+    /// The STG has more signals than the *explicit* state-graph engine
+    /// supports (explicit codes are packed in a 64-bit word; the symbolic
+    /// engine has no such limit).
     TooManySignals {
         /// Number of signals in the STG.
         count: usize,
@@ -48,7 +49,8 @@ impl fmt::Display for StgError {
             StgError::TooManySignals { count } => {
                 write!(
                     f,
-                    "the state-coding engine supports at most 64 signals, the STG has {count}"
+                    "the explicit state-graph engine supports at most 64 signals, the STG has \
+                     {count} (use the symbolic engine for wider designs)"
                 )
             }
             StgError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),

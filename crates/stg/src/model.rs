@@ -52,17 +52,13 @@ impl Stg {
     /// # Errors
     ///
     /// Returns [`StgError::UnknownName`] if `labels` does not have exactly
-    /// one entry per transition or references a signal outside the table,
-    /// and [`StgError::TooManySignals`] for more than 64 signals.
+    /// one entry per transition or references a signal outside the table.
     pub fn from_labelled_net(
         net: PetriNet,
         signals: Vec<Signal>,
         labels: Vec<TransitionLabel>,
         name: impl Into<String>,
     ) -> Result<Self, StgError> {
-        if signals.len() > 64 {
-            return Err(StgError::TooManySignals { count: signals.len() });
-        }
         if labels.len() != net.num_transitions() {
             return Err(StgError::UnknownName {
                 name: format!("expected {} labels, got {}", net.num_transitions(), labels.len()),
@@ -336,15 +332,15 @@ impl StgBuilder {
 
     /// Finalises the STG.
     ///
+    /// The signal count is unbounded: only the *explicit* state-graph
+    /// engine packs codes into a 64-bit word
+    /// ([`StgError::TooManySignals`] is raised there); the symbolic engine
+    /// and the symbolic logic back-end handle any width.
+    ///
     /// # Errors
     ///
-    /// Returns [`StgError::Net`] if the underlying net is malformed and
-    /// [`StgError::TooManySignals`] if more than 64 signals were declared
-    /// (the state-graph engine packs codes into a 64-bit word).
+    /// Returns [`StgError::Net`] if the underlying net is malformed.
     pub fn build(self) -> Result<Stg, StgError> {
-        if self.signals.len() > 64 {
-            return Err(StgError::TooManySignals { count: self.signals.len() });
-        }
         let net = self.net.build()?;
         Ok(Stg::from_parts(net, self.signals, self.labels, self.name))
     }
@@ -418,7 +414,14 @@ mod tests {
         let up = b.add_edge(s0, Polarity::Rise);
         let dn = b.add_edge(s0, Polarity::Fall);
         b.connect_cycle(&[up, dn]);
-        assert!(matches!(b.build().unwrap_err(), StgError::TooManySignals { count: 65 }));
+        // Wide STGs build fine (the symbolic engines have no width limit);
+        // only the explicit u64-coded state graph rejects them.
+        let stg = b.build().unwrap();
+        assert_eq!(stg.num_signals(), 65);
+        assert!(matches!(
+            stg.state_graph(1_000).unwrap_err(),
+            StgError::TooManySignals { count: 65 }
+        ));
     }
 
     impl StgBuilder {

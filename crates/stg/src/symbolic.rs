@@ -52,6 +52,9 @@ pub struct SymbolicStateSpace {
     reachable: Bdd,
     num_places: usize,
     num_signals: usize,
+    /// Position of each logical state variable (places `0..num_places`,
+    /// then signals) in the interleaved BDD variable order.
+    pos: Vec<usize>,
     /// `true` when the fixpoint completed without hitting the iteration cap.
     pub converged: bool,
     /// Number of image rounds the fixpoint performed.
@@ -125,11 +128,52 @@ impl Stg {
         let num_places = net.num_places();
         let num_signals = if with_codes { self.num_signals() } else { 0 };
         // One (current, next) variable pair per state variable, interleaved:
-        // state variable i lives at BDD variables 2i (current) and 2i+1
-        // (next).
+        // the state variable at *position* k of the chosen order lives at
+        // BDD variables 2k (current) and 2k+1 (next).
+        //
+        // State variables are identified by a logical index (places first,
+        // then signals) but *positioned* so that every signal sits right
+        // next to the places feeding its transitions: a global
+        // places-then-signals order would force the BDD to remember the
+        // whole marking before reading any code bit, which blows the
+        // reachable set up exponentially on wide products of independent
+        // components (the very workloads the symbolic engine exists for).
         let num_state_vars = num_places + num_signals;
-        let current = |state_var: usize| (2 * state_var) as VarId;
-        let next = |state_var: usize| (2 * state_var + 1) as VarId;
+        let pos = if num_places == 0 {
+            // Degenerate net: no places to anchor to; keep the logical order.
+            (0..num_state_vars).collect()
+        } else {
+            let mut anchor = vec![num_places - 1; num_signals];
+            for t in 0..net.num_transitions() {
+                let t_id = TransId::from(t);
+                if let TransitionLabel::Edge { signal, .. } = self.label(t_id) {
+                    if signal.index() < num_signals {
+                        if let Some(min_pre) = net.preset(t_id).iter().map(|p| p.index()).min() {
+                            let a = &mut anchor[signal.index()];
+                            *a = (*a).min(min_pre);
+                        }
+                    }
+                }
+            }
+            let mut signals_after: Vec<Vec<usize>> = vec![Vec::new(); num_places];
+            for (s, &a) in anchor.iter().enumerate() {
+                signals_after[a].push(s);
+            }
+            let mut pos = vec![0usize; num_state_vars];
+            let mut k = 0;
+            for p in 0..num_places {
+                pos[p] = k;
+                k += 1;
+                for &s in &signals_after[p] {
+                    pos[num_places + s] = k;
+                    k += 1;
+                }
+            }
+            debug_assert_eq!(k, num_state_vars);
+            pos
+        };
+        let current = |state_var: usize| (2 * pos[state_var]) as VarId;
+        let next = |state_var: usize| (2 * pos[state_var] + 1) as VarId;
         // Pre-size the arena and unique table: reachability fixpoints build
         // nodes monotonically, and sizing up front avoids growth rehashing
         // in the middle of the image iteration.
@@ -144,7 +188,11 @@ impl Stg {
             .collect();
         if with_codes {
             for s in 0..num_signals {
-                initial_lits.push((current(num_places + s), initial_code & (1 << s) != 0));
+                // Signals past the width of the `u64` seed start at 0; wide
+                // designs (>64 signals) are exactly what the symbolic engine
+                // exists for, so the shift must not overflow.
+                let bit = s < 64 && (initial_code >> s) & 1 != 0;
+                initial_lits.push((current(num_places + s), bit));
             }
         }
         let initial = m.cube_of(&initial_lits);
@@ -304,7 +352,15 @@ impl Stg {
             frontier = fresh;
         }
 
-        SymbolicStateSpace { manager: m, reachable, num_places, num_signals, converged, iterations }
+        SymbolicStateSpace {
+            manager: m,
+            reachable,
+            num_places,
+            num_signals,
+            pos,
+            converged,
+            iterations,
+        }
     }
 }
 
@@ -359,7 +415,7 @@ impl SymbolicStateSpace {
         // the next copies are don't-cares for the reachable set.
         let mut full = vec![false; 2 * self.num_state_vars()];
         for (state_var, &value) in assignment.iter().enumerate() {
-            full[2 * state_var] = value;
+            full[2 * self.pos[state_var]] = value;
         }
         self.manager.eval(self.reachable, &full)
     }
@@ -373,6 +429,37 @@ impl SymbolicStateSpace {
     pub fn num_signals(&self) -> usize {
         self.num_signals
     }
+
+    /// The reachable set as a BDD over the *current* copies of the state
+    /// variables (the next copies are unconstrained).
+    pub fn reachable(&self) -> Bdd {
+        self.reachable
+    }
+
+    /// Shared access to the manager that owns [`Self::reachable`].
+    pub fn manager(&self) -> &BddManager {
+        &self.manager
+    }
+
+    /// Mutable access to the manager, for downstream symbolic analyses
+    /// (projection, cover extraction) that build further BDDs over the
+    /// reachable set.
+    pub fn manager_mut(&mut self) -> &mut BddManager {
+        &mut self.manager
+    }
+
+    /// The manager variable holding the *current* value of place `place`.
+    pub fn current_var_of_place(&self, place: usize) -> VarId {
+        assert!(place < self.num_places, "place {place} out of range");
+        (2 * self.pos[place]) as VarId
+    }
+
+    /// The manager variable holding the *current* value of signal `signal`
+    /// (only meaningful for code-encoded spaces).
+    pub fn current_var_of_signal(&self, signal: usize) -> VarId {
+        assert!(signal < self.num_signals, "signal {signal} out of range");
+        (2 * self.pos[self.num_places + signal]) as VarId
+    }
 }
 
 /// Symbolic encoding-property checks on a code-encoded state space.
@@ -383,10 +470,11 @@ impl Stg {
         let space = self.symbolic_encoded_state_space(initial_code, None);
         let states = space.state_count_f64();
         let (num_places, num_signals) = (space.num_places, space.num_signals);
+        let place_vars: Vec<VarId> =
+            (0..num_places).map(|p| space.current_var_of_place(p)).collect();
         let mut m = space.manager;
         // Project onto the code variables: quantify away the current place
         // copies (the next copies are free in `reachable` already).
-        let place_vars: Vec<VarId> = (0..num_places).map(|p| (2 * p) as VarId).collect();
         let codes = m.exists_many(space.reachable, &place_vars);
         // `codes` depends only on the current signal copies; every other of
         // the 2·(places + signals) manager variables is free.
@@ -401,16 +489,17 @@ impl Stg {
     pub fn symbolic_csc_violation(&self, initial_code: u64) -> bool {
         let space = self.symbolic_encoded_state_space(initial_code, None);
         let num_places = space.num_places;
+        let place_vars: Vec<VarId> =
+            (0..num_places).map(|p| space.current_var_of_place(p)).collect();
         let mut m = space.manager;
         let reachable = space.reachable;
-        let place_vars: Vec<VarId> = (0..num_places).map(|p| (2 * p) as VarId).collect();
         for signal in self.non_input_signals() {
             // Enabled(signal) as a function of places: some transition of the
             // signal has all its input places marked.
             let mut enabled = m.bottom();
             for t in self.transitions_of_signal(signal) {
                 let lits: Vec<(VarId, bool)> =
-                    self.net().preset(t).iter().map(|p| ((2 * p.index()) as VarId, true)).collect();
+                    self.net().preset(t).iter().map(|p| (place_vars[p.index()], true)).collect();
                 let cube = m.cube_of(&lits);
                 enabled = m.or(enabled, cube);
             }
@@ -540,6 +629,21 @@ mod tests {
         let space = stg.symbolic_state_space(None);
         let assignment = stg.net().initial_marking().to_bools();
         assert!(space.contains(&assignment));
+    }
+
+    #[test]
+    fn wide_designs_compute_encoded_spaces_past_64_signals() {
+        // 40 handshakes = 80 signals: beyond any u64 code, fine symbolically.
+        let stg = benchmarks::parallel_handshakes(40);
+        let space = stg.symbolic_encoded_state_space(0, None);
+        assert!(space.converged);
+        assert_eq!(space.num_signals(), 80);
+        let states = space.state_count_f64();
+        let expected = 4f64.powi(40);
+        assert!(
+            (states / expected - 1.0).abs() < 1e-9,
+            "expected ~4^40 encoded states, got {states:e}"
+        );
     }
 
     #[test]

@@ -2,7 +2,10 @@
 //! verification → logic derivation, across the whole benchmark suite.
 
 use csc::{solve_stg, verify_solution, CandidateSource, SolverConfig, VerifyDiagnostic};
-use logic::{estimate_area, output_persistency_violations};
+use logic::{
+    derive_next_state_functions_with, estimate_area, output_persistency_violations, Cover, Literal,
+    LogicStrategy,
+};
 use synthkit::{run_flow, FlowOptions};
 
 #[test]
@@ -56,6 +59,89 @@ fn solved_benchmarks_have_implementable_logic() {
             "{name} lost output persistency"
         );
     }
+}
+
+/// The BDD of a cover over `n` variables — the exact-comparison vehicle for
+/// the strategy-equivalence tests.
+fn cover_bdd(m: &mut bdd::BddManager, cover: &Cover, n: usize) -> bdd::Bdd {
+    let mut acc = m.bottom();
+    for cube in cover.cubes() {
+        let lits: Vec<(bdd::VarId, bool)> = (0..n)
+            .filter_map(|i| match cube.literal(i) {
+                Literal::One => Some((i as bdd::VarId, true)),
+                Literal::Zero => Some((i as bdd::VarId, false)),
+                Literal::DontCare => None,
+            })
+            .collect();
+        let c = m.cube_of(&lits);
+        acc = m.or(acc, c);
+    }
+    acc
+}
+
+#[test]
+fn logic_strategies_are_equivalent_on_the_table2_suite() {
+    // The acceptance bar of the symbolic back-end: identical ON/OFF-set
+    // semantics per signal and never more literals than the explicit engine,
+    // across the whole Table 2 suite (on the solved graphs, where the
+    // functions are well-defined).
+    let config = SolverConfig::default();
+    for (name, model, _) in stg::benchmarks::table2_suite() {
+        let solution = solve_stg(&model, &config).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let explicit =
+            derive_next_state_functions_with(&solution.graph, LogicStrategy::Explicit).unwrap();
+        let symbolic =
+            derive_next_state_functions_with(&solution.graph, LogicStrategy::Symbolic).unwrap();
+        assert_eq!(explicit.functions.len(), symbolic.functions.len(), "{name}");
+        let n = explicit.num_variables;
+        assert_eq!(n, symbolic.num_variables, "{name}");
+        let mut m = bdd::BddManager::new(n);
+        for (e, s) in explicit.functions.iter().zip(&symbolic.functions) {
+            assert_eq!(e.signal, s.signal, "{name}");
+            // Exact set equality of the ON/OFF semantics, via canonical BDDs.
+            let e_on = cover_bdd(&mut m, &e.on_set, n);
+            let s_on = cover_bdd(&mut m, &s.on_set, n);
+            assert_eq!(e_on, s_on, "{name}/{}: ON sets differ", e.name);
+            let e_off = cover_bdd(&mut m, &e.off_set, n);
+            let s_off = cover_bdd(&mut m, &s.off_set, n);
+            assert_eq!(e_off, s_off, "{name}/{}: OFF sets differ", e.name);
+            // Both minimized covers implement the incompletely specified
+            // function: they contain the ON-set and avoid the OFF-set.
+            for (label, min) in [("explicit", &e.minimized), ("symbolic", &s.minimized)] {
+                let min_bdd = cover_bdd(&mut m, min, n);
+                assert!(m.implies(e_on, min_bdd), "{name}/{}: {label} cover lost ON", e.name);
+                let overlap = m.and(min_bdd, e_off);
+                assert!(overlap.is_false(), "{name}/{}: {label} cover hits OFF", e.name);
+            }
+            assert!(
+                s.literals() <= e.literals(),
+                "{name}/{}: symbolic needs {} literals, explicit {}",
+                e.name,
+                s.literals(),
+                e.literals()
+            );
+        }
+        assert!(symbolic.total_literals() <= explicit.total_literals(), "{name}");
+    }
+}
+
+#[test]
+fn wide_designs_synthesize_end_to_end_through_the_symbolic_path() {
+    // 80 signals and 4^40 states: the explicit engine cannot even represent
+    // the codes; the default flow must synthesize it fully symbolically.
+    let model = stg::benchmarks::parallel_handshakes(40);
+    let report = run_flow(&model, &FlowOptions::default()).unwrap();
+    assert!(report.fully_symbolic);
+    assert!(report.csc_satisfied);
+    assert_eq!(report.signals, 80);
+    assert_eq!(report.inserted_signals, 0);
+    assert_eq!(report.literals.unwrap(), 40, "each ack is a single req literal");
+    assert_eq!(report.cubes.unwrap(), 40);
+    assert!(report.states_f64 > 1e24, "4^40 markings");
+    // The explicit strategy must refuse the same model rather than lie.
+    let explicit =
+        run_flow(&model, &FlowOptions { logic: LogicStrategy::Explicit, ..FlowOptions::default() });
+    assert!(explicit.is_err(), "explicit path cannot encode 80 signals");
 }
 
 #[test]
