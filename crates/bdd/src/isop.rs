@@ -86,6 +86,20 @@ impl BddManager {
     /// function `(on, dc)` is `isop(on, on ∨ dc)`; `isop(f, f)` yields an
     /// irredundant cover of `f` exactly.
     ///
+    /// ```
+    /// use bdd::BddManager;
+    ///
+    /// let mut m = BddManager::new(2);
+    /// let (a, b) = (m.var(0), m.var(1));
+    /// // ON-set {a ∧ b}, upper bound a: the don't-care a ∧ ¬b is absorbed,
+    /// // so the cover collapses to the single literal a.
+    /// let on = m.and(a, b);
+    /// let cover = m.isop(on, a);
+    /// assert_eq!(cover.cubes, vec![vec![(0, true)]]);
+    /// assert_eq!(cover.literal_count(), 1);
+    /// assert_eq!(cover.bdd, a);
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if `lower ⊄ upper` — the interval would be empty.

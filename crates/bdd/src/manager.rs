@@ -92,6 +92,8 @@ enum Op {
     AndExists = 6,
     /// Shift every odd variable down by one — keyed `(f, -, -)`.
     Unprime = 7,
+    /// Shift every even variable up by one — keyed `(f, -, -)`.
+    Prime = 8,
 }
 
 /// Sentinel for an empty unique-table slot (no node can have this id: the
@@ -329,7 +331,7 @@ pub struct BddStats {
 ///
 /// The number of variables is fixed at construction; variables are indexed
 /// `0..num_vars` and that index is also their position in the ordering.
-/// See the [module docs](self) for the arena/cache architecture.
+/// See the crate-level docs for the arena/cache architecture.
 pub struct BddManager {
     nodes: Vec<Node>,
     unique: UniqueTable,
@@ -629,7 +631,7 @@ impl BddManager {
                     return f;
                 }
             }
-            Op::Not | Op::Exists | Op::Forall | Op::AndExists | Op::Unprime => {
+            Op::Not | Op::Exists | Op::Forall | Op::AndExists | Op::Unprime | Op::Prime => {
                 unreachable!("apply only handles the binary Boolean connectives")
             }
         }
@@ -837,6 +839,21 @@ impl BddManager {
     /// intermediate `f ∧ g` BDD is never materialised, and the disjunction
     /// at quantified levels short-circuits to `true` without visiting the
     /// other branch.  This is the image operator of symbolic reachability.
+    ///
+    /// ```
+    /// use bdd::BddManager;
+    ///
+    /// let mut m = BddManager::new(3);
+    /// let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+    /// // ∃a. (a ∨ b) ∧ (a ∨ c) — the fused product equals the two-step one.
+    /// let ab = m.or(a, b);
+    /// let ac = m.or(a, c);
+    /// let fused = m.and_exists(ab, ac, &[0]);
+    /// let conjoined = m.and(ab, ac);
+    /// let two_step = m.exists_many(conjoined, &[0]);
+    /// assert_eq!(fused, two_step);
+    /// assert!(fused.is_true()); // choosing a = 1 satisfies both operands
+    /// ```
     pub fn and_exists(&mut self, f: Bdd, g: Bdd, vars: &[VarId]) -> Bdd {
         let cube = self.quant_cube(vars);
         self.and_exists_with(f, g, cube)
@@ -945,6 +962,62 @@ impl BddManager {
         );
         let r = self.mk(var, low, high);
         self.cache.store(Op::Unprime, f, f, r);
+        r
+    }
+
+    /// Maps every *even* variable in `f`'s support to its odd successor
+    /// (`2i ↦ 2i + 1`), leaving odd variables in place — the inverse rename
+    /// of [`Self::unprime`].
+    ///
+    /// Under the interleaved current/next encoding this re-expresses a
+    /// current-state predicate over the next-state copies, which is how a
+    /// *pair* relation (e.g. the CSC conflict relation between two reachable
+    /// states) is built: keep one operand on the current variables, `prime`
+    /// the other, and conjoin.
+    ///
+    /// ```
+    /// use bdd::BddManager;
+    ///
+    /// let mut m = BddManager::new(4);
+    /// let cur = m.var(0);           // current copy of state variable 0
+    /// let primed = m.prime(cur);    // the same predicate on the next copy
+    /// assert_eq!(primed, m.var(1));
+    /// assert_eq!(m.unprime(primed), cur);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// `f` must not depend on both `2i` and `2i + 1` for any `i`, and no
+    /// variable of `f`'s support may be the last manager variable (its odd
+    /// successor must exist).  Violations panic in release builds too, for
+    /// the same canonicity reason as [`Self::unprime`].
+    pub fn prime(&mut self, f: Bdd) -> Bdd {
+        Bdd(self.prime_rec(f.0))
+    }
+
+    fn prime_rec(&mut self, f: NodeId) -> NodeId {
+        if f.is_terminal() {
+            return f;
+        }
+        if let Some(r) = self.cache.lookup(Op::Prime, f, f) {
+            return r;
+        }
+        let n = self.node(f);
+        let low = self.prime_rec(n.low);
+        let high = self.prime_rec(n.high);
+        let var = n.var | 1;
+        assert!(
+            (var as usize) < self.num_vars,
+            "prime: variable {} has no odd successor in the manager",
+            n.var
+        );
+        assert!(
+            self.var_of(low) > var && self.var_of(high) > var,
+            "prime: input depends on both variables of the pair ({}, {var})",
+            var - 1
+        );
+        let r = self.mk(var, low, high);
+        self.cache.store(Op::Prime, f, f, r);
         r
     }
 
@@ -1494,6 +1567,47 @@ mod tests {
         let x1 = m.var(1);
         let bad = m.and(x0, x1);
         let _ = m.unprime(bad);
+    }
+
+    #[test]
+    fn prime_shifts_even_variables_up_and_inverts_unprime() {
+        let mut m = BddManager::new(8);
+        let e0 = m.var(0);
+        let e2 = m.var(2);
+        let e4 = m.var(4);
+        let e02 = m.and(e0, e2);
+        let f = m.or(e02, e4);
+        let primed = m.prime(f);
+        let x1 = m.var(1);
+        let x3 = m.var(3);
+        let x5 = m.var(5);
+        let x13 = m.and(x1, x3);
+        let expected = m.or(x13, x5);
+        assert_eq!(primed, expected);
+        assert_eq!(m.unprime(primed), f, "unprime ∘ prime is the identity");
+        // Odd-only functions are fixed points; mixed support is fine as long
+        // as no even/odd pair collides.
+        assert_eq!(m.prime(expected), expected);
+        let mixed = m.and(f, x5);
+        // f depends on var 4, x5 on var 5 — the pair (4, 5) collides.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut m2 = BddManager::new(8);
+            let e4 = m2.var(4);
+            let x5 = m2.var(5);
+            let bad = m2.and(e4, x5);
+            m2.prime(bad)
+        }));
+        assert!(result.is_err(), "colliding pair must panic");
+        let _ = mixed;
+    }
+
+    #[test]
+    #[should_panic(expected = "no odd successor")]
+    fn prime_rejects_the_last_variable() {
+        // In a 3-variable manager the even variable 2 has no odd partner.
+        let mut m = BddManager::new(3);
+        let top_even = m.var(2);
+        let _ = m.prime(top_even);
     }
 
     #[test]

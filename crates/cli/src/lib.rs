@@ -32,9 +32,12 @@
 #![warn(missing_docs)]
 
 use csc::{
-    conflict_pairs, solve_stg, CscError, CscSolution, EncodedGraph, SolverConfig, StageStats,
+    conflict_pairs, solve_stg, solve_stg_symbolic_seeded, CscError, CscSolution, EncodedGraph,
+    SolverConfig, SolverStrategy, StageStats,
 };
-use logic::{analyze_stg, area_of_functions, estimate_area_with, LogicDiagnostic, LogicStrategy};
+use logic::{
+    analyze_stg, area_of_functions, estimate_area_with, LogicDiagnostic, LogicError, LogicStrategy,
+};
 use std::fmt;
 use std::time::Instant;
 use stg::Stg;
@@ -56,6 +59,19 @@ pub struct FlowOptions {
     /// seed the symbolic engines.  The benchmark suite (and `.g` models,
     /// whose codes are anchored at 0 during propagation) start at 0.
     pub initial_code: u64,
+    /// Which CSC solver resolves a conflicted design.
+    /// [`SolverStrategy::Symbolic`] (the default) inserts state signals on
+    /// BDDs and keeps the whole flow symbolic — the only option for designs
+    /// beyond 64 signals; the explicit state-graph pipeline remains
+    /// selectable and is the automatic fallback when the symbolic solver
+    /// reports a typed failure.
+    ///
+    /// The symbolic solver rides on the symbolic analysis, so it only
+    /// takes effect under [`LogicStrategy::Symbolic`] (the default):
+    /// selecting the explicit logic engine selects the explicit pipeline
+    /// end to end, and the `rsynth` CLI rejects the contradictory
+    /// `--logic explicit --solver symbolic` combination outright.
+    pub strategy: SolverStrategy,
 }
 
 impl Default for FlowOptions {
@@ -66,6 +82,7 @@ impl Default for FlowOptions {
             max_states: 1_000_000,
             logic: LogicStrategy::default(),
             initial_code: 0,
+            strategy: SolverStrategy::default(),
         }
     }
 }
@@ -112,6 +129,9 @@ pub struct FlowReport {
     pub logic_bdd_nodes: Option<usize>,
     /// The engine that derived the logic.
     pub logic_strategy: LogicStrategy,
+    /// The CSC solver that resolved the conflicts (meaningful when
+    /// [`FlowReport::inserted_signals`] is non-zero).
+    pub solver_strategy: SolverStrategy,
     /// Typed implementability diagnostics (output persistency, CSC).
     pub logic_diagnostics: Vec<LogicDiagnostic>,
     /// Whether the flow ran fully symbolically (no explicit state graph).
@@ -138,7 +158,17 @@ impl fmt::Display for FlowReport {
             self.signals,
             render_state_count(self.states, self.states_f64)
         )?;
-        writeln!(f, "conflicts   : {}", self.initial_conflicts)?;
+        writeln!(
+            f,
+            "conflicts   : {}",
+            if self.initial_conflicts == usize::MAX {
+                // Wide designs can have more conflicting codes than a usize
+                // holds (every independent-component configuration aliases).
+                "> 1.8e19 (saturated)".to_owned()
+            } else {
+                self.initial_conflicts.to_string()
+            }
+        )?;
         writeln!(
             f,
             "encoding    : {} state signal(s) inserted, {} states, CSC {}",
@@ -152,6 +182,9 @@ impl fmt::Display for FlowReport {
                 write!(f, ", {cubes} cubes")?;
             }
             writeln!(f)?;
+        }
+        if self.inserted_signals > 0 {
+            writeln!(f, "csc solver  : {} engine", self.solver_strategy)?;
         }
         writeln!(
             f,
@@ -203,6 +236,7 @@ pub fn render_stage_table(report: &FlowReport) -> String {
     out.push_str(&format!("{:<22} {:>12}\n", "candidates evaluated", stage.candidates_evaluated));
     out.push_str(&format!("{:<22} {:>12}\n", "candidates pruned", stage.candidates_pruned));
     out.push_str(&format!("{:<22} {:>12}\n", "evaluation jobs", report.jobs));
+    out.push_str(&format!("{:<22} {:>12}\n", "solver engine", report.solver_strategy.to_string()));
     out.push_str(&format!("{:<22} {:>12}\n", "logic engine", report.logic_strategy.to_string()));
     if let Some(literals) = report.literals {
         out.push_str(&format!("{:<22} {:>12}\n", "logic literals", literals));
@@ -238,35 +272,81 @@ pub fn run_flow(model: &Stg, options: &FlowOptions) -> Result<FlowReport, CscErr
         // Symbolic-first: one analysis yields the functions, the
         // persistency diagnostics and the state counts; success proves CSC
         // holds.
-        if let Ok(analysis) = analyze_stg(model, options.initial_code, None) {
-            let area = area_of_functions(&analysis.functions);
-            let states_f64 = analysis.markings;
-            let states = saturating_usize(states_f64);
-            return Ok(FlowReport {
-                name: model.name().to_owned(),
-                places,
-                transitions,
-                signals,
-                states,
-                states_f64,
-                initial_conflicts: 0,
-                csc_satisfied: true,
-                inserted_signals: 0,
-                final_states: states,
-                literals: options.estimate_area.then_some(area.total_literals),
-                cubes: options.estimate_area.then_some(area.total_cubes),
-                logic_bdd_nodes: options.estimate_area.then_some(area.bdd_nodes),
-                logic_strategy: LogicStrategy::Symbolic,
-                logic_diagnostics: analysis.diagnostics,
-                fully_symbolic: true,
-                resynthesized: true, // the input STG is its own implementation spec
-                cpu_seconds: start.elapsed().as_secs_f64(),
-                stage: StageStats::default(),
-                jobs: options.solver.effective_jobs(),
-            });
+        match analyze_stg(model, options.initial_code, None) {
+            Ok(analysis) => {
+                let area = area_of_functions(&analysis.functions);
+                let states_f64 = analysis.markings;
+                let states = saturating_usize(states_f64);
+                return Ok(FlowReport {
+                    name: model.name().to_owned(),
+                    places,
+                    transitions,
+                    signals,
+                    states,
+                    states_f64,
+                    initial_conflicts: 0,
+                    csc_satisfied: true,
+                    inserted_signals: 0,
+                    final_states: states,
+                    literals: options.estimate_area.then_some(area.total_literals),
+                    cubes: options.estimate_area.then_some(area.total_cubes),
+                    logic_bdd_nodes: options.estimate_area.then_some(area.bdd_nodes),
+                    logic_strategy: LogicStrategy::Symbolic,
+                    solver_strategy: options.strategy,
+                    logic_diagnostics: analysis.diagnostics,
+                    fully_symbolic: true,
+                    resynthesized: true, // the input STG is its own implementation spec
+                    cpu_seconds: start.elapsed().as_secs_f64(),
+                    stage: StageStats::default(),
+                    jobs: options.solver.effective_jobs(),
+                });
+            }
+            // A genuine CSC conflict with the symbolic solver selected:
+            // resolve it by state-signal insertion on BDDs, then re-analyze
+            // the encoded STG — still no explicit state graph anywhere.
+            Err(LogicError::CscViolation { .. })
+                if options.strategy == SolverStrategy::Symbolic =>
+            {
+                if let Ok(solution) =
+                    solve_stg_symbolic_seeded(model, &options.solver, options.initial_code)
+                {
+                    if let Ok(analysis) = analyze_stg(&solution.stg, options.initial_code, None) {
+                        let area = area_of_functions(&analysis.functions);
+                        let final_states_f64 = analysis.markings;
+                        return Ok(FlowReport {
+                            name: model.name().to_owned(),
+                            places,
+                            transitions,
+                            signals,
+                            states: solution.stats.initial_states,
+                            states_f64: solution.initial_states_f64,
+                            initial_conflicts: solution.stats.initial_conflicts,
+                            csc_satisfied: true,
+                            inserted_signals: solution.inserted_signals.len(),
+                            final_states: saturating_usize(final_states_f64),
+                            literals: options.estimate_area.then_some(area.total_literals),
+                            cubes: options.estimate_area.then_some(area.total_cubes),
+                            logic_bdd_nodes: options.estimate_area.then_some(area.bdd_nodes),
+                            logic_strategy: LogicStrategy::Symbolic,
+                            solver_strategy: SolverStrategy::Symbolic,
+                            logic_diagnostics: analysis.diagnostics,
+                            fully_symbolic: true,
+                            // The solver's output *is* an STG — the
+                            // hand-back the paper asks for.
+                            resynthesized: true,
+                            cpu_seconds: start.elapsed().as_secs_f64(),
+                            stage: solution.stats.stage,
+                            jobs: solution.stats.jobs,
+                        });
+                    }
+                }
+                // A typed solver failure (no candidate, signal budget,
+                // non-convergence): fall through to the explicit pipeline.
+            }
+            // Wrong seed or non-convergence: the explicit pipeline is the
+            // ground truth fallback.
+            Err(_) => {}
         }
-        // Fall through: a CSC conflict (or non-convergence) needs the
-        // explicit pipeline.
     }
 
     let sg = model.state_graph(options.max_states)?;
@@ -310,6 +390,7 @@ pub fn run_flow(model: &Stg, options: &FlowOptions) -> Result<FlowReport, CscErr
         cubes,
         logic_bdd_nodes,
         logic_strategy: options.logic,
+        solver_strategy: SolverStrategy::Explicit,
         logic_diagnostics,
         fully_symbolic: false,
         resynthesized: solution.stg.is_some(),
@@ -363,12 +444,28 @@ mod tests {
         assert!(report.literals.unwrap() > 0);
         assert!(report.cubes.unwrap() > 0);
         assert_eq!(report.signals, 5);
-        assert!(!report.fully_symbolic, "vme_read has conflicts: explicit pipeline required");
+        assert!(
+            report.fully_symbolic,
+            "vme_read's conflict is now resolved by the symbolic solver: no explicit graph"
+        );
+        assert_eq!(report.solver_strategy, csc::SolverStrategy::Symbolic);
         assert!(report.logic_diagnostics.is_empty());
         let text = report.to_string();
         assert!(text.contains("vme_read"));
         assert!(text.contains("CSC satisfied"));
+        assert!(text.contains("csc solver  : symbolic engine"));
         assert!(text.contains("symbolic engine"));
+    }
+
+    #[test]
+    fn explicit_solver_strategy_remains_selectable() {
+        let options =
+            FlowOptions { strategy: csc::SolverStrategy::Explicit, ..FlowOptions::default() };
+        let report = run_flow(&stg::benchmarks::vme_read(), &options).unwrap();
+        assert!(report.csc_satisfied);
+        assert!(!report.fully_symbolic, "the explicit strategy builds the state graph");
+        assert_eq!(report.solver_strategy, csc::SolverStrategy::Explicit);
+        assert!(report.inserted_signals >= 1);
     }
 
     #[test]
@@ -490,6 +587,7 @@ mod tests {
     fn reports_carry_solver_stage_stats() {
         let mut options = FlowOptions::default();
         options.solver.jobs = 2;
+        options.strategy = csc::SolverStrategy::Explicit;
         let report = run_flow(&stg::benchmarks::pulser(), &options).unwrap();
         assert_eq!(report.jobs, 2);
         assert!(report.stage.candidates_evaluated > 0);
@@ -498,9 +596,16 @@ mod tests {
         let table = render_stage_table(&report);
         assert!(table.contains("block search"));
         assert!(table.contains("candidates evaluated"));
+        assert!(table.contains("solver engine"));
         assert!(table.contains("logic engine"));
         assert!(table.contains("logic literals"));
         assert!(table.contains("logic bdd nodes"));
         assert!(table.lines().count() >= 10);
+
+        // The symbolic solver fills the same stage counters.
+        let symbolic = run_flow(&stg::benchmarks::pulser(), &FlowOptions::default()).unwrap();
+        assert!(symbolic.fully_symbolic);
+        assert!(symbolic.stage.candidates_evaluated > 0);
+        assert!(render_stage_table(&symbolic).contains("solver engine"));
     }
 }

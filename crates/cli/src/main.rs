@@ -7,6 +7,8 @@
 //! rsynth --benchmark counter4 --jobs 4     # parallel candidate evaluation
 //! rsynth --benchmark par_hs40 --logic symbolic  # >64 signals, no explicit graph
 //! rsynth --benchmark seq8 --logic explicit # force the per-state logic engine
+//! rsynth --benchmark wide_conflict32 --solver symbolic  # conflicted, 66 signals
+//! rsynth --benchmark vme_read --solver explicit  # force the state-graph solver
 //! rsynth --list                            # list built-in benchmarks
 //! rsynth path/to/model.g --write-g out.g   # write the encoded STG back
 //! ```
@@ -16,9 +18,36 @@ use synthkit::{render_stage_table, run_flow, FlowOptions};
 
 fn print_usage() {
     eprintln!(
-        "usage: rsynth [<model.g>] [--benchmark <name>] [--baseline] [--fw <n>] \
-         [--jobs <n>] [--logic symbolic|explicit] [--enlarge] [--no-area] \
-         [--write-g <path>] [--list]"
+        "usage: rsynth [<model.g>] [--benchmark <name>] [options]
+
+input:
+  <model.g>                 read an STG in the .g interchange format
+  --benchmark <name>        run a built-in benchmark (see --list)
+  --list                    list the built-in benchmarks and exit
+
+solver:
+  --solver symbolic|explicit  CSC solver: BDD state-signal insertion (the
+                            default; no signal-count limit, output is an
+                            encoded STG) or the explicit state-graph
+                            pipeline (capped at 64 signals)
+  --baseline                excitation-region candidates only (the
+                            ASSASSIN-style Table 2 baseline, explicit)
+  --fw <n>                  frontier width of the block search (default 4)
+  --jobs <n>                candidate-evaluation threads for the explicit
+                            solver (0 = auto, 1 = sequential; the result is
+                            identical for every value)
+  --enlarge                 greedily enlarge inserted-signal concurrency
+
+logic:
+  --logic symbolic|explicit next-state function derivation: interval-ISOP
+                            on BDDs (default) or the per-state engine
+                            (explicit implies the explicit pipeline end to
+                            end and cannot combine with --solver symbolic)
+  --no-area                 skip the logic derivation / area estimate
+
+output:
+  --write-g <path>          write the encoded STG back in .g format
+  --help, -h                show this help"
     );
 }
 
@@ -41,6 +70,9 @@ fn builtin(name: &str) -> Option<stg::Stg> {
             if let Some(n) = name.strip_prefix("pulser_bank") {
                 return n.parse().ok().map(stg::benchmarks::pulser_bank);
             }
+            if let Some(n) = name.strip_prefix("wide_conflict") {
+                return n.parse().ok().map(stg::benchmarks::wide_conflict);
+            }
             if let Some(n) = name.strip_prefix("par") {
                 return n.parse().ok().map(stg::benchmarks::parallelizer);
             }
@@ -55,6 +87,8 @@ fn main() -> ExitCode {
     let mut benchmark: Option<String> = None;
     let mut options = FlowOptions::default();
     let mut write_g: Option<String> = None;
+    let mut explicit_logic = false;
+    let mut symbolic_solver = false;
     let mut index = 0;
     while index < args.len() {
         match args[index].as_str() {
@@ -67,7 +101,10 @@ fn main() -> ExitCode {
                 for (name, _, _) in stg::benchmarks::table2_suite() {
                     println!("  {name}");
                 }
-                println!("  parN, par_hsN, seqN, counterN, pulser_bankN (parameterised)");
+                println!(
+                    "  parN, par_hsN, seqN, counterN, pulser_bankN, wide_conflictN \
+                     (parameterised)"
+                );
                 return ExitCode::SUCCESS;
             }
             "--baseline" => options.solver = csc::SolverConfig::excitation_region_baseline(),
@@ -97,9 +134,26 @@ fn main() -> ExitCode {
                 index += 1;
                 match args.get(index).map(String::as_str) {
                     Some("symbolic") => options.logic = logic::LogicStrategy::Symbolic,
-                    Some("explicit") => options.logic = logic::LogicStrategy::Explicit,
+                    Some("explicit") => {
+                        options.logic = logic::LogicStrategy::Explicit;
+                        explicit_logic = true;
+                    }
                     _ => {
                         eprintln!("--logic needs 'symbolic' or 'explicit'");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--solver" => {
+                index += 1;
+                match args.get(index).map(String::as_str) {
+                    Some("symbolic") => {
+                        options.strategy = csc::SolverStrategy::Symbolic;
+                        symbolic_solver = true;
+                    }
+                    Some("explicit") => options.strategy = csc::SolverStrategy::Explicit,
+                    _ => {
+                        eprintln!("--solver needs 'symbolic' or 'explicit'");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -120,6 +174,14 @@ fn main() -> ExitCode {
             }
         }
         index += 1;
+    }
+
+    if explicit_logic && symbolic_solver {
+        eprintln!(
+            "--solver symbolic rides on the symbolic analysis and cannot be combined with \
+             --logic explicit (the explicit logic engine implies the explicit pipeline)"
+        );
+        return ExitCode::FAILURE;
     }
 
     let model = match (&input_path, &benchmark) {
@@ -154,18 +216,29 @@ fn main() -> ExitCode {
             println!("{report}");
             println!("\n{}", render_stage_table(&report));
             if let Some(path) = write_g {
-                // Re-solve keeping the STG so we can serialise it.
-                let solution = csc::solve_stg(&model, &options.solver);
-                match solution {
-                    Ok(sol) => match sol.stg {
-                        Some(encoded) => match std::fs::write(&path, encoded.to_g()) {
-                            Ok(()) => println!("encoded STG written to {path}"),
-                            Err(e) => eprintln!("could not write {path}: {e}"),
-                        },
-                        None => eprintln!(
-                            "the encoded state graph is not excitation closed; no STG was written"
-                        ),
+                // Re-solve keeping the STG so we can serialise it.  The
+                // symbolic solver's output *is* an STG; the explicit
+                // pipeline re-synthesizes one when the encoded state graph
+                // is excitation closed.
+                let encoded = match options.strategy {
+                    csc::SolverStrategy::Symbolic => csc::solve_stg_symbolic_seeded(
+                        &model,
+                        &options.solver,
+                        options.initial_code,
+                    )
+                    .map(|sol| Some(sol.stg)),
+                    csc::SolverStrategy::Explicit => {
+                        csc::solve_stg(&model, &options.solver).map(|sol| sol.stg)
+                    }
+                };
+                match encoded {
+                    Ok(Some(encoded)) => match std::fs::write(&path, encoded.to_g()) {
+                        Ok(()) => println!("encoded STG written to {path}"),
+                        Err(e) => eprintln!("could not write {path}: {e}"),
                     },
+                    Ok(None) => eprintln!(
+                        "the encoded state graph is not excitation closed; no STG was written"
+                    ),
                     Err(e) => eprintln!("re-synthesis failed: {e}"),
                 }
             }

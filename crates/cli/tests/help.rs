@@ -1,0 +1,107 @@
+//! Snapshot test of the `rsynth` usage text: every current flag must be
+//! documented, and the help must not drift from the option parser without
+//! this test noticing.
+
+use std::process::Command;
+
+/// Runs the built `rsynth` binary with the given arguments.
+fn rsynth(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_rsynth")).args(args).output().expect("rsynth binary runs")
+}
+
+const EXPECTED_HELP: &str = "usage: rsynth [<model.g>] [--benchmark <name>] [options]
+
+input:
+  <model.g>                 read an STG in the .g interchange format
+  --benchmark <name>        run a built-in benchmark (see --list)
+  --list                    list the built-in benchmarks and exit
+
+solver:
+  --solver symbolic|explicit  CSC solver: BDD state-signal insertion (the
+                            default; no signal-count limit, output is an
+                            encoded STG) or the explicit state-graph
+                            pipeline (capped at 64 signals)
+  --baseline                excitation-region candidates only (the
+                            ASSASSIN-style Table 2 baseline, explicit)
+  --fw <n>                  frontier width of the block search (default 4)
+  --jobs <n>                candidate-evaluation threads for the explicit
+                            solver (0 = auto, 1 = sequential; the result is
+                            identical for every value)
+  --enlarge                 greedily enlarge inserted-signal concurrency
+
+logic:
+  --logic symbolic|explicit next-state function derivation: interval-ISOP
+                            on BDDs (default) or the per-state engine
+                            (explicit implies the explicit pipeline end to
+                            end and cannot combine with --solver symbolic)
+  --no-area                 skip the logic derivation / area estimate
+
+output:
+  --write-g <path>          write the encoded STG back in .g format
+  --help, -h                show this help
+";
+
+#[test]
+fn help_text_matches_the_snapshot() {
+    let out = rsynth(&["--help"]);
+    assert!(out.status.success(), "--help exits successfully");
+    let text = String::from_utf8(out.stderr).expect("usage text is UTF-8");
+    assert_eq!(text, EXPECTED_HELP, "usage text drifted; update the parser or the snapshot");
+}
+
+#[test]
+fn every_parsed_flag_is_documented() {
+    // The option parser and the help text live in the same file; this
+    // cross-checks that each flag the parser accepts appears in the help.
+    let out = rsynth(&["--help"]);
+    let text = String::from_utf8(out.stderr).unwrap();
+    for flag in [
+        "--benchmark",
+        "--list",
+        "--solver",
+        "--baseline",
+        "--fw",
+        "--jobs",
+        "--enlarge",
+        "--logic",
+        "--no-area",
+        "--write-g",
+        "--help",
+    ] {
+        assert!(text.contains(flag), "flag {flag} missing from the usage text");
+    }
+}
+
+#[test]
+fn unknown_options_fail_with_usage() {
+    let out = rsynth(&["--frobnicate"]);
+    assert!(!out.status.success());
+    let text = String::from_utf8(out.stderr).unwrap();
+    assert!(text.contains("unknown option"));
+    assert!(text.contains("usage: rsynth"));
+}
+
+#[test]
+fn contradictory_logic_solver_combination_is_rejected() {
+    let out = rsynth(&["--benchmark", "pulser", "--logic", "explicit", "--solver", "symbolic"]);
+    assert!(!out.status.success());
+    let text = String::from_utf8(out.stderr).unwrap();
+    assert!(text.contains("cannot be combined"), "{text}");
+    // Either flag alone is fine.
+    assert!(rsynth(&["--benchmark", "pulser", "--logic", "explicit"]).status.success());
+    assert!(rsynth(&["--benchmark", "pulser", "--solver", "symbolic"]).status.success());
+}
+
+#[test]
+fn solver_flag_selects_the_engine() {
+    let out = rsynth(&["--benchmark", "pulser", "--solver", "symbolic"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("csc solver  : symbolic engine"), "{text}");
+    let out = rsynth(&["--benchmark", "pulser", "--solver", "explicit"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("csc solver  : explicit engine"), "{text}");
+    let out = rsynth(&["--benchmark", "pulser", "--solver", "bogus"]);
+    assert!(!out.status.success());
+}

@@ -31,6 +31,21 @@ pub enum CscError {
     },
     /// The event insertion itself failed.
     Insertion(ts::TsError),
+    /// A symbolic reachability fixpoint hit its iteration cap before
+    /// converging (symbolic solver only).
+    NotConverged {
+        /// Image rounds performed before giving up.
+        iterations: usize,
+    },
+    /// The symbolic solver's seed (`initial_code`) does not label the
+    /// reachable markings consistently: some edge is blocked by a wrong
+    /// signal value, so markings are lost or doubly coded.
+    SeedMismatch {
+        /// Reachable markings of the places-only fixpoint (ground truth).
+        markings: usize,
+        /// States of the encoded (marking, code) fixpoint.
+        coded_states: usize,
+    },
 }
 
 impl fmt::Display for CscError {
@@ -49,6 +64,14 @@ impl fmt::Display for CscError {
                 write!(f, "inserting signal '{signal}' produced an inconsistent encoding")
             }
             CscError::Insertion(e) => write!(f, "event insertion failed: {e}"),
+            CscError::NotConverged { iterations } => {
+                write!(f, "symbolic reachability did not converge within {iterations} iterations")
+            }
+            CscError::SeedMismatch { markings, coded_states } => write!(
+                f,
+                "initial code mismatch: {markings} reachable markings vs {coded_states} coded states \
+                 (wrong initial_code seed)"
+            ),
         }
     }
 }

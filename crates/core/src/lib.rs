@@ -66,6 +66,7 @@ pub mod insert;
 pub mod partition;
 pub mod search;
 pub mod solver;
+pub mod symbolic;
 
 pub use conflicts::{
     conflict_pairs, conflict_pairs_with, refresh_conflicts_after_insertion, ConflictScratch,
@@ -80,4 +81,7 @@ pub use search::{find_best_block, find_best_block_with, CandidateSource, Cost, S
 pub use solver::{
     solve_state_graph, solve_stg, verify_solution, CscSolution, SolveStats, SolverConfig,
     StageStats, VerifyDiagnostic,
+};
+pub use symbolic::{
+    solve_stg_symbolic, solve_stg_symbolic_seeded, ConflictCore, SolverStrategy, SymbolicSolution,
 };

@@ -357,8 +357,9 @@ pub fn find_best_block(
 /// accumulating candidate counters into `stats`.
 ///
 /// Every round gathers its deduplicated candidate sets sequentially,
-/// evaluates them in input order via [`evaluate_blocks`], and reduces
-/// sequentially, so the returned block is identical for every `jobs` value.
+/// evaluates them in input order (fanning out over `jobs` scoped threads),
+/// and reduces sequentially, so the returned block is identical for every
+/// `jobs` value.
 pub fn find_best_block_with(
     graph: &EncodedGraph,
     conflicts: &[CscConflict],

@@ -165,6 +165,16 @@ pub struct CscSolution {
 /// Solves CSC for an STG: builds its state graph and runs
 /// [`solve_state_graph`].
 ///
+/// ```
+/// use csc::{solve_stg, SolverConfig};
+///
+/// // The paper's pulser needs exactly one state signal.
+/// let solution = solve_stg(&stg::benchmarks::pulser(), &SolverConfig::default())?;
+/// assert_eq!(solution.inserted_signals, ["csc0"]);
+/// assert!(solution.graph.complete_state_coding_holds());
+/// # Ok::<(), csc::CscError>(())
+/// ```
+///
 /// # Errors
 ///
 /// Propagates state-graph construction failures and every error of

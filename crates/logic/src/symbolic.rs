@@ -140,6 +140,19 @@ pub struct SymbolicLogicReport {
 /// [`derive_from_stg`] plus the symbolic output-persistency check and the
 /// reachable-marking count — one reachability analysis instead of three.
 ///
+/// ```
+/// use logic::analyze_stg;
+///
+/// // Two independent handshakes: 16 reachable markings, each ack follows
+/// // its own request with a single literal, no persistency hazards.
+/// let model = stg::benchmarks::parallel_handshakes(2);
+/// let report = analyze_stg(&model, 0, None)?;
+/// assert_eq!(report.markings, 16.0);
+/// assert_eq!(report.functions.total_literals(), 2);
+/// assert!(report.diagnostics.is_empty());
+/// # Ok::<(), logic::LogicError>(())
+/// ```
+///
 /// # Errors
 ///
 /// Same as [`derive_from_stg`].

@@ -12,10 +12,10 @@
 //! same event.  This crate computes all of these:
 //!
 //! * [`crossing`] — the crossing relation of an event with respect to a set
-//!   and the [`is_region`](crossing::is_region) predicate,
+//!   and the [`is_region`] predicate,
 //! * [`minimal`] — generation of minimal pre-/post-regions by the classical
 //!   expansion algorithm,
-//! * [`bricks`] — the brick set used by the CSC heuristic search,
+//! * [`bricks()`] — the brick set used by the CSC heuristic search,
 //! * [`synthesis`] — Petri-net synthesis from a transition system
 //!   (one place per minimal pre-region, plus the excitation-closure check).
 //!

@@ -210,6 +210,39 @@ pub fn counter(n: usize) -> Stg {
     b.build().expect("counter is well-formed")
 }
 
+/// One [`pulser`] motif (CSC-conflicted) composed with `n` independent
+/// four-phase handshakes (conflict-free): `2 + 2n` signals and `6 · 4^n`
+/// reachable states, with the conflict confined to the pulser component.
+///
+/// With `n ≥ 32` the model has more than 64 signals, so the explicit
+/// state-graph pipeline (whose codes are packed into a `u64`) cannot even
+/// represent it — resolving its CSC conflict requires the fully symbolic
+/// solver.  This is the "wide but locally conflicted" workload of the
+/// `csc_symbolic` bench baseline.
+pub fn wide_conflict(n: usize) -> Stg {
+    assert!(n >= 1);
+    let mut b = StgBuilder::new(format!("wide_conflict{n}"));
+    let x = b.add_input("x");
+    let y = b.add_output("y");
+    let xp = b.add_edge(x, Polarity::Rise);
+    let yp1 = b.add_edge(y, Polarity::Rise);
+    let ym1 = b.add_edge(y, Polarity::Fall);
+    let xm = b.add_edge(x, Polarity::Fall);
+    let yp2 = b.add_edge(y, Polarity::Rise);
+    let ym2 = b.add_edge(y, Polarity::Fall);
+    b.connect_cycle(&[xp, yp1, ym1, xm, yp2, ym2]);
+    for i in 0..n {
+        let req = b.add_input(format!("r{i}"));
+        let ack = b.add_output(format!("a{i}"));
+        let rp = b.add_edge(req, Polarity::Rise);
+        let ap = b.add_edge(ack, Polarity::Rise);
+        let rm = b.add_edge(req, Polarity::Fall);
+        let am = b.add_edge(ack, Polarity::Fall);
+        b.connect_cycle(&[rp, ap, rm, am]);
+    }
+    b.build().expect("wide_conflict is well-formed")
+}
+
 /// A two-stage read controller in the style of `master-read`: two
 /// subordinate handshakes (memory and bus) driven from one master request,
 /// partially overlapped.

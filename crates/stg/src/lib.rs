@@ -49,4 +49,4 @@ pub use model::{Stg, StgBuilder, TransitionLabel};
 pub use parser::parse_g;
 pub use signal::{Polarity, Signal, SignalId, SignalKind};
 pub use state_graph::StateGraph;
-pub use symbolic::{ReachabilityStrategy, SymbolicStateSpace};
+pub use symbolic::{ReachabilityStrategy, SymbolicStateSpace, TransitionBranch};

@@ -50,6 +50,7 @@ pub enum ReachabilityStrategy {
 pub struct SymbolicStateSpace {
     manager: BddManager,
     reachable: Bdd,
+    initial: Bdd,
     num_places: usize,
     num_signals: usize,
     /// Position of each logical state variable (places `0..num_places`,
@@ -59,6 +60,102 @@ pub struct SymbolicStateSpace {
     pub converged: bool,
     /// Number of image rounds the fixpoint performed.
     pub iterations: usize,
+}
+
+/// One enabling/update branch of an STG transition, expressed over the
+/// *current* BDD variables of the [`SymbolicStateSpace`] it was derived
+/// from.
+///
+/// A rising or falling edge contributes exactly one branch; a toggle edge
+/// contributes two (one per pre-value of its code bit); a dummy transition
+/// contributes one branch that touches no code variable.  Because the next
+/// state differs from the current one only on [`Self::pinned`]'s variables
+/// — and there to fixed constants — downstream analyses (image, crossing
+/// and border computations in the symbolic CSC solver) never need the
+/// next-state variable copies: the image of a state set `A` under a branch
+/// is `(∃ changed. A ∧ enabled) ∧ pinned`, and "the target satisfies `Q`"
+/// is the cofactor of `Q` at the pinned literals.
+#[derive(Clone, Debug)]
+pub struct TransitionBranch {
+    /// The net transition this branch belongs to.
+    pub trans: TransId,
+    /// Literals that must hold for the branch to fire: every preset place
+    /// marked, plus the signal's pre-value for a coded edge.
+    pub enabled: Vec<(VarId, bool)>,
+    /// Values the changed variables take after firing — cleared places to 0,
+    /// newly marked places to 1, the signal's code bit to its post-value.
+    /// Variables outside this list keep their current value.
+    pub pinned: Vec<(VarId, bool)>,
+}
+
+/// One enabling/update branch of a transition over *state-variable indices*
+/// (places `0..num_places`, then signals) — the encoding-independent form
+/// shared by the reachability engine and [`SymbolicStateSpace::
+/// transition_branches`].
+struct RawBranch {
+    trans: TransId,
+    enabled: Vec<(usize, bool)>,
+    changed: Vec<usize>,
+    pinned: Vec<(usize, bool)>,
+}
+
+/// Enumerates the firing branches of every transition.  `with_codes` adds
+/// the per-signal code variables (indices `num_places..`) to the coded
+/// edges; without it every label is treated like a dummy.
+fn enumerate_branches(stg: &Stg, with_codes: bool) -> Vec<RawBranch> {
+    let net = stg.net();
+    let num_places = net.num_places();
+    let mut branches = Vec::new();
+    for t in 0..net.num_transitions() {
+        let t_id = TransId::from(t);
+        let pre: Vec<usize> = net.preset(t_id).iter().map(|p| p.index()).collect();
+        let post: Vec<usize> = net.postset(t_id).iter().map(|p| p.index()).collect();
+        let cleared: Vec<usize> = pre.iter().copied().filter(|v| !post.contains(v)).collect();
+        let set: Vec<usize> = post.iter().copied().filter(|v| !pre.contains(v)).collect();
+        let signal_state_var = if with_codes {
+            match stg.label(t_id) {
+                TransitionLabel::Edge { signal, polarity } => {
+                    Some((num_places + signal.index(), polarity))
+                }
+                TransitionLabel::Dummy => None,
+            }
+        } else {
+            None
+        };
+        let enabled_base: Vec<(usize, bool)> = pre.iter().map(|&p| (p, true)).collect();
+        let mut changed_base: Vec<usize> = cleared.clone();
+        changed_base.extend(&set);
+        let mut pinned_base: Vec<(usize, bool)> = Vec::new();
+        pinned_base.extend(cleared.iter().map(|&p| (p, false)));
+        pinned_base.extend(set.iter().map(|&p| (p, true)));
+        // (signal pre-value, signal post-value) per branch; a toggle fires
+        // from either value and lands on the opposite one.
+        type CodeLit = Option<(usize, bool)>;
+        let code_branches: Vec<(CodeLit, CodeLit)> = match signal_state_var {
+            Some((sv, Polarity::Rise)) => vec![(Some((sv, false)), Some((sv, true)))],
+            Some((sv, Polarity::Fall)) => vec![(Some((sv, true)), Some((sv, false)))],
+            Some((sv, Polarity::Toggle)) => {
+                vec![(Some((sv, false)), Some((sv, true))), (Some((sv, true)), Some((sv, false)))]
+            }
+            None => vec![(None, None)],
+        };
+        for (pre_lit, post_lit) in code_branches {
+            let mut enabled = enabled_base.clone();
+            let mut changed = changed_base.clone();
+            let mut pinned = pinned_base.clone();
+            if let Some((sv, value)) = pre_lit {
+                enabled.push((sv, value));
+                changed.push(sv);
+            }
+            if let Some((sv, value)) = post_lit {
+                pinned.push((sv, value));
+            }
+            changed.sort_unstable();
+            changed.dedup();
+            branches.push(RawBranch { trans: t_id, enabled, changed, pinned });
+        }
+    }
+    branches
 }
 
 /// One disjunctive cluster of transition relations plus its quantifier.
@@ -203,55 +300,20 @@ impl Stg {
         // preset, plus the signal's pre-value for a coded edge), the state
         // variables it changes, and the next-copy literals pinning their
         // post-values.  A toggle edge (`a~`) flips its code bit, so it
-        // expands into one branch per current bit value.
+        // expands into one branch per current bit value.  The enumeration
+        // itself is shared with [`SymbolicStateSpace::transition_branches`]
+        // so the two views of the firing rule cannot drift apart.
         struct TransBranch {
             enabled: Vec<(VarId, bool)>,
             changed: Vec<usize>,
             pinned: Vec<(VarId, bool)>,
         }
-        /// One literal constraining a code bit (`None` = unconstrained).
-        type CodeLit = Option<(usize, bool)>;
         // Branches grouped into disjunctive clusters: one cluster per
         // signal, one per dummy transition.
         let mut members: Vec<Vec<TransBranch>> = Vec::new();
         let mut cluster_of_signal: FxHashMap<usize, usize> = FxHashMap::default();
-        for t in 0..net.num_transitions() {
-            let t_id = TransId::from(t);
-            let pre: Vec<usize> = net.preset(t_id).iter().map(|p| p.index()).collect();
-            let post: Vec<usize> = net.postset(t_id).iter().map(|p| p.index()).collect();
-            let cleared: Vec<usize> = pre.iter().copied().filter(|v| !post.contains(v)).collect();
-            let set: Vec<usize> = post.iter().copied().filter(|v| !pre.contains(v)).collect();
-            let label = self.label(t_id);
-            let signal_state_var = if with_codes {
-                match label {
-                    TransitionLabel::Edge { signal, polarity } => {
-                        Some((num_places + signal.index(), polarity))
-                    }
-                    TransitionLabel::Dummy => None,
-                }
-            } else {
-                None
-            };
-            let enabled_base: Vec<(VarId, bool)> =
-                pre.iter().map(|&p| (current(p), true)).collect();
-            let mut changed_base: Vec<usize> = cleared.clone();
-            changed_base.extend(&set);
-            let mut pinned_base: Vec<(VarId, bool)> = Vec::new();
-            pinned_base.extend(cleared.iter().map(|&p| (next(p), false)));
-            pinned_base.extend(set.iter().map(|&p| (next(p), true)));
-            // (signal pre-value, signal post-value) per branch.
-            let code_branches: Vec<(CodeLit, CodeLit)> = match signal_state_var {
-                Some((sv, Polarity::Rise)) => vec![(Some((sv, false)), Some((sv, true)))],
-                Some((sv, Polarity::Fall)) => vec![(Some((sv, true)), Some((sv, false)))],
-                // A toggle fires from either value and lands on the
-                // opposite one.
-                Some((sv, Polarity::Toggle)) => vec![
-                    (Some((sv, false)), Some((sv, true))),
-                    (Some((sv, true)), Some((sv, false))),
-                ],
-                None => vec![(None, None)],
-            };
-            let slot = match label {
+        for raw in enumerate_branches(self, with_codes) {
+            let slot = match self.label(raw.trans) {
                 TransitionLabel::Edge { signal, .. } => {
                     *cluster_of_signal.entry(signal.index()).or_insert_with(|| {
                         members.push(Vec::new());
@@ -263,21 +325,11 @@ impl Stg {
                     members.len() - 1
                 }
             };
-            for (pre_lit, post_lit) in code_branches {
-                let mut enabled = enabled_base.clone();
-                let mut changed = changed_base.clone();
-                let mut pinned = pinned_base.clone();
-                if let Some((sv, value)) = pre_lit {
-                    enabled.push((current(sv), value));
-                    changed.push(sv);
-                }
-                if let Some((sv, value)) = post_lit {
-                    pinned.push((next(sv), value));
-                }
-                changed.sort_unstable();
-                changed.dedup();
-                members[slot].push(TransBranch { enabled, changed, pinned });
-            }
+            members[slot].push(TransBranch {
+                enabled: raw.enabled.iter().map(|&(sv, v)| (current(sv), v)).collect(),
+                changed: raw.changed,
+                pinned: raw.pinned.iter().map(|&(sv, v)| (next(sv), v)).collect(),
+            });
         }
 
         // Frame condition x′ᵥ ↔ xᵥ, interned once per state variable.
@@ -355,6 +407,7 @@ impl Stg {
         SymbolicStateSpace {
             manager: m,
             reachable,
+            initial,
             num_places,
             num_signals,
             pos,
@@ -459,6 +512,40 @@ impl SymbolicStateSpace {
     pub fn current_var_of_signal(&self, signal: usize) -> VarId {
         assert!(signal < self.num_signals, "signal {signal} out of range");
         (2 * self.pos[self.num_places + signal]) as VarId
+    }
+
+    /// The initial state as a cube over the *current* variable copies (the
+    /// initial marking, extended with the seeded signal values for a
+    /// code-encoded space).
+    pub fn initial_state(&self) -> Bdd {
+        self.initial
+    }
+
+    /// The firing branches of every transition of `stg`, expressed over this
+    /// space's *current* variable copies (see [`TransitionBranch`]).
+    ///
+    /// `stg` must be the model the space was built from; the branch
+    /// enumeration is the exact one the reachability engine used, so images
+    /// computed from these branches agree with [`Self::reachable`].
+    pub fn transition_branches(&self, stg: &Stg) -> Vec<TransitionBranch> {
+        assert_eq!(stg.net().num_places(), self.num_places, "space/model mismatch");
+        let with_codes = self.num_signals > 0;
+        enumerate_branches(stg, with_codes)
+            .into_iter()
+            .map(|raw| TransitionBranch {
+                trans: raw.trans,
+                enabled: raw
+                    .enabled
+                    .iter()
+                    .map(|&(sv, v)| ((2 * self.pos[sv]) as VarId, v))
+                    .collect(),
+                pinned: raw
+                    .pinned
+                    .iter()
+                    .map(|&(sv, v)| ((2 * self.pos[sv]) as VarId, v))
+                    .collect(),
+            })
+            .collect()
     }
 }
 

@@ -1,0 +1,12 @@
+//! Smoke test for the narrated examples: `csc_walkthrough` is included
+//! *as source* and its `main` is executed, so the tutorial can never
+//! silently rot — if a stage it narrates starts failing, `cargo test`
+//! fails with it.
+
+#[path = "../examples/csc_walkthrough.rs"]
+mod csc_walkthrough;
+
+#[test]
+fn csc_walkthrough_runs_end_to_end() {
+    csc_walkthrough::main().expect("the walkthrough must complete");
+}
