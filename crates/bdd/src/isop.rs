@@ -120,6 +120,11 @@ impl BddManager {
         if u == NodeId::TRUE {
             return (Rc::new(IsopNode::Universe), NodeId::TRUE);
         }
+        if self.budget_tripped() {
+            // Budget poison: unwind with an empty cover; the caller discards
+            // the result through `take_budget_trip`.
+            return (Rc::new(IsopNode::Empty), NodeId::FALSE);
+        }
         if let Some(hit) = memo.get(&(l, u)) {
             return hit.clone();
         }

@@ -38,12 +38,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 mod cubes;
 pub mod hash;
 mod isop;
 mod manager;
 mod node;
 
+pub use budget::{Budget, BudgetExceeded, Resource};
 pub use cubes::{Cube, CubeIter};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use isop::IsopCover;

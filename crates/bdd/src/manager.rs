@@ -41,6 +41,7 @@
 //! 4. Cache soundness: a hit `(op, f, g) → r` is only returned while `r`'s
 //!    interning is still live, which is always, since nodes are never freed.
 
+use crate::budget::{Budget, BudgetExceeded, CHECK_INTERVAL};
 use crate::hash::{fx_combine, FxHashMap, FxHashSet};
 use crate::node::{Node, NodeId, VarId, TERMINAL_VAR};
 use std::cell::RefCell;
@@ -338,6 +339,18 @@ pub struct BddManager {
     cache: ApplyCache,
     num_vars: usize,
     scratch: RefCell<TraversalScratch>,
+    /// Optional shared resource budget; see [`Self::set_budget`].
+    budget: Option<Budget>,
+    /// `mk` calls since the last budget flush (batched so the hot path pays
+    /// one increment and one compare per call).
+    steps_since_check: u64,
+    /// Arena length at the last flush, to charge only the delta.
+    nodes_at_last_check: u64,
+    /// Fast poison flag: set when the budget trips, checked at the top of
+    /// every recursion so in-flight operations unwind quickly.
+    tripped: bool,
+    /// The typed trip report, taken by [`Self::take_budget_trip`].
+    trip: Option<BudgetExceeded>,
 }
 
 impl BddManager {
@@ -366,6 +379,79 @@ impl BddManager {
             cache: ApplyCache::new(APPLY_CACHE_MIN),
             num_vars,
             scratch: RefCell::new(TraversalScratch::default()),
+            budget: None,
+            steps_since_check: 0,
+            nodes_at_last_check: 0,
+            tripped: false,
+            trip: None,
+        }
+    }
+
+    /// Attaches a shared [`Budget`] to this manager.
+    ///
+    /// From now on node allocations are charged to the budget in batches of
+    /// [`CHECK_INTERVAL`] `mk` calls; when a ceiling trips, every in-flight
+    /// recursion unwinds by returning the `false` terminal (without storing
+    /// cache entries), and the typed report waits in
+    /// [`Self::take_budget_trip`].  Results produced after a trip are
+    /// meaningless and must be discarded by the caller.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.nodes_at_last_check = self.nodes.len() as u64;
+        self.budget = Some(budget);
+    }
+
+    /// The attached budget, if any.
+    pub fn budget(&self) -> Option<&Budget> {
+        self.budget.as_ref()
+    }
+
+    /// Whether the budget has tripped (and results are poisoned) since the
+    /// last [`Self::take_budget_trip`].
+    pub fn budget_tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Flushes pending charges (sampling the wall clock) and reports a trip
+    /// if any ceiling is crossed.  Call this at loop headers — reachability
+    /// images, candidate evaluations — where a typed error can be surfaced.
+    ///
+    /// Does not clear the poison flag; use [`Self::take_budget_trip`] for
+    /// that.
+    pub fn check_budget(&mut self) -> Result<(), BudgetExceeded> {
+        self.flush_budget();
+        match &self.trip {
+            Some(trip) => Err(trip.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Takes the pending budget trip, clearing the poison flag so the
+    /// manager can be reused (the operation cache is invalidated, since
+    /// results computed while poisoned were short-circuited).
+    pub fn take_budget_trip(&mut self) -> Option<BudgetExceeded> {
+        self.flush_budget();
+        let trip = self.trip.take();
+        if self.tripped {
+            self.tripped = false;
+            self.cache.clear();
+        }
+        trip
+    }
+
+    /// Charges the un-flushed `mk` batch to the budget and records a trip if
+    /// a ceiling is crossed.
+    fn flush_budget(&mut self) {
+        let steps = std::mem::take(&mut self.steps_since_check);
+        let Some(budget) = &self.budget else { return };
+        let nodes_now = self.nodes.len() as u64;
+        let new_nodes = nodes_now.saturating_sub(self.nodes_at_last_check);
+        self.nodes_at_last_check = nodes_now;
+        if self.tripped {
+            return;
+        }
+        if let Err(trip) = budget.charge(new_nodes, steps) {
+            self.trip = Some(trip);
+            self.tripped = true;
         }
     }
 
@@ -504,6 +590,14 @@ impl BddManager {
         {
             self.cache.grow_for(self.nodes.len());
         }
+        // Budget accounting is batched: one increment per call, a flush
+        // (shared atomics + clock sample) every CHECK_INTERVAL calls.
+        if self.budget.is_some() {
+            self.steps_since_check += 1;
+            if self.steps_since_check >= CHECK_INTERVAL {
+                self.flush_budget();
+            }
+        }
         id
     }
 
@@ -517,6 +611,11 @@ impl BddManager {
             NodeId::FALSE => NodeId::TRUE,
             NodeId::TRUE => NodeId::FALSE,
             _ => {
+                if self.tripped {
+                    // Budget poison: unwind fast with a placeholder; the
+                    // caller discards the result via `take_budget_trip`.
+                    return NodeId::FALSE;
+                }
                 if let Some(r) = self.cache.lookup(Op::Not, f, f) {
                     return r;
                 }
@@ -524,7 +623,9 @@ impl BddManager {
                 let low = self.not_rec(n.low);
                 let high = self.not_rec(n.high);
                 let r = self.mk(n.var, low, high);
-                self.cache.store(Op::Not, f, f, r);
+                if !self.tripped {
+                    self.cache.store(Op::Not, f, f, r);
+                }
                 r
             }
         }
@@ -635,6 +736,10 @@ impl BddManager {
                 unreachable!("apply only handles the binary Boolean connectives")
             }
         }
+        if self.tripped {
+            // Budget poison: unwind fast; caller discards via `take_budget_trip`.
+            return NodeId::FALSE;
+        }
         // Normalise commutative operands for better cache hit rates.
         let (a, b) = if f <= g { (f, g) } else { (g, f) };
         if let Some(r) = self.cache.lookup(op, a, b) {
@@ -658,7 +763,9 @@ impl BddManager {
         let low = self.apply(op, a_low, b_low);
         let high = self.apply(op, a_high, b_high);
         let r = self.mk(v, low, high);
-        self.cache.store(op, a, b, r);
+        if !self.tripped {
+            self.cache.store(op, a, b, r);
+        }
         r
     }
 
@@ -747,6 +854,11 @@ impl BddManager {
 
     /// Existential quantification over a prebuilt [`Self::quant_cube`].
     pub fn exists_cube(&mut self, f: Bdd, cube: Bdd) -> Bdd {
+        // A tripped manager may have collapsed the cube to FALSE while it
+        // was being built; poison the result instead of asserting.
+        if self.tripped {
+            return Bdd(NodeId::FALSE);
+        }
         debug_assert!(self.is_quant_cube(cube), "quantifier cube must be positive literals");
         Bdd(self.exists_rec(f.0, cube.0))
     }
@@ -761,6 +873,9 @@ impl BddManager {
         }
         if f.is_terminal() || cube == NodeId::TRUE {
             return f;
+        }
+        if self.tripped {
+            return NodeId::FALSE;
         }
         if let Some(r) = self.cache.lookup(Op::Exists, f, cube) {
             return r;
@@ -781,7 +896,9 @@ impl BddManager {
             let high = self.exists_rec(n.high, cube);
             self.mk(n.var, low, high)
         };
-        self.cache.store(Op::Exists, f, cube, r);
+        if !self.tripped {
+            self.cache.store(Op::Exists, f, cube, r);
+        }
         r
     }
 
@@ -799,6 +916,9 @@ impl BddManager {
 
     /// Universal quantification over a prebuilt [`Self::quant_cube`].
     pub fn forall_cube(&mut self, f: Bdd, cube: Bdd) -> Bdd {
+        if self.tripped {
+            return Bdd(NodeId::FALSE);
+        }
         debug_assert!(self.is_quant_cube(cube), "quantifier cube must be positive literals");
         Bdd(self.forall_rec(f.0, cube.0))
     }
@@ -810,6 +930,9 @@ impl BddManager {
         }
         if f.is_terminal() || cube == NodeId::TRUE {
             return f;
+        }
+        if self.tripped {
+            return NodeId::FALSE;
         }
         if let Some(r) = self.cache.lookup(Op::Forall, f, cube) {
             return r;
@@ -829,7 +952,9 @@ impl BddManager {
             let high = self.forall_rec(n.high, cube);
             self.mk(n.var, low, high)
         };
-        self.cache.store(Op::Forall, f, cube, r);
+        if !self.tripped {
+            self.cache.store(Op::Forall, f, cube, r);
+        }
         r
     }
 
@@ -863,6 +988,9 @@ impl BddManager {
     /// fixpoint loops should call so the cube (which is also the memo key)
     /// is interned once.
     pub fn and_exists_with(&mut self, f: Bdd, g: Bdd, cube: Bdd) -> Bdd {
+        if self.tripped {
+            return Bdd(NodeId::FALSE);
+        }
         debug_assert!(self.is_quant_cube(cube), "quantifier cube must be positive literals");
         Bdd(self.and_exists_rec(f.0, g.0, cube.0))
     }
@@ -890,6 +1018,9 @@ impl BddManager {
         if cube == NodeId::TRUE {
             // No variables left to quantify below this level.
             return self.apply(Op::And, f, g);
+        }
+        if self.tripped {
+            return NodeId::FALSE;
         }
         if let Some(r) = self.cache.lookup3(Op::AndExists, f, g, cube) {
             return r;
@@ -920,7 +1051,9 @@ impl BddManager {
             let high = self.and_exists_rec(f_high, g_high, cube);
             self.mk(v, low, high)
         };
-        self.cache.store3(Op::AndExists, f, g, cube, r);
+        if !self.tripped {
+            self.cache.store3(Op::AndExists, f, g, cube, r);
+        }
         r
     }
 
@@ -948,6 +1081,9 @@ impl BddManager {
         if f.is_terminal() {
             return f;
         }
+        if self.tripped {
+            return NodeId::FALSE;
+        }
         if let Some(r) = self.cache.lookup(Op::Unprime, f, f) {
             return r;
         }
@@ -961,7 +1097,9 @@ impl BddManager {
             var + 1
         );
         let r = self.mk(var, low, high);
-        self.cache.store(Op::Unprime, f, f, r);
+        if !self.tripped {
+            self.cache.store(Op::Unprime, f, f, r);
+        }
         r
     }
 
@@ -999,6 +1137,9 @@ impl BddManager {
         if f.is_terminal() {
             return f;
         }
+        if self.tripped {
+            return NodeId::FALSE;
+        }
         if let Some(r) = self.cache.lookup(Op::Prime, f, f) {
             return r;
         }
@@ -1017,7 +1158,9 @@ impl BddManager {
             var - 1
         );
         let r = self.mk(var, low, high);
-        self.cache.store(Op::Prime, f, f, r);
+        if !self.tripped {
+            self.cache.store(Op::Prime, f, f, r);
+        }
         r
     }
 
@@ -1671,5 +1814,49 @@ mod tests {
             }
         }
         assert!(m.num_nodes() > 24 * 3);
+    }
+
+    #[test]
+    fn node_budget_trips_and_poisons_until_taken() {
+        use crate::budget::{Budget, Resource};
+        let mut m = BddManager::new(64);
+        let budget = Budget::new(Some(256), None, None);
+        budget.set_stage("test-stage");
+        m.set_budget(budget.clone());
+        // Build XOR chains until the node ceiling trips (XOR of distinct
+        // variables shares nothing, so the arena grows steadily).
+        let mut acc = m.bottom();
+        for round in 0..10_000u64 {
+            let v = m.var((round % 64) as VarId);
+            acc = m.xor(acc, v);
+            if m.check_budget().is_err() {
+                break;
+            }
+        }
+        assert!(m.budget_tripped(), "256-node ceiling never tripped");
+        // While poisoned, operations return placeholders without panicking.
+        let a = m.var(0);
+        let b = m.var(1);
+        let _ = m.and(a, b);
+        let trip = m.take_budget_trip().expect("trip report present");
+        assert_eq!(trip.resource, Resource::Nodes);
+        assert_eq!(trip.stage, "test-stage");
+        assert!(trip.spent > trip.limit);
+        // After taking the trip the manager computes correctly again (the
+        // budget itself stays exceeded, but no new check has run yet).
+        assert!(!m.budget_tripped());
+        let ab = m.and(a, b);
+        assert!(m.implies(ab, a) && m.implies(ab, b));
+    }
+
+    #[test]
+    fn cancellation_is_observed_at_check_points() {
+        use crate::budget::{Budget, Resource};
+        let mut m = BddManager::new(8);
+        let budget = Budget::unlimited();
+        m.set_budget(budget.clone());
+        budget.cancel();
+        let err = m.check_budget().expect_err("cancelled budget must trip");
+        assert_eq!(err.resource, Resource::Cancelled);
     }
 }

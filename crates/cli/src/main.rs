@@ -9,6 +9,7 @@
 //! rsynth --benchmark seq8 --logic explicit # force the per-state logic engine
 //! rsynth --benchmark wide_conflict32 --solver symbolic  # conflicted, 66 signals
 //! rsynth --benchmark vme_read --solver explicit  # force the state-graph solver
+//! rsynth --benchmark wide_conflict32 --node-budget 200000 --timeout-ms 5000
 //! rsynth --list                            # list built-in benchmarks
 //! rsynth path/to/model.g --write-g out.g   # write the encoded STG back
 //! ```
@@ -44,6 +45,16 @@ logic:
                             (explicit implies the explicit pipeline end to
                             end and cannot combine with --solver symbolic)
   --no-area                 skip the logic derivation / area estimate
+
+resources:
+  --node-budget <n>         cap the BDD nodes the flow may allocate; on
+                            overrun the flow degrades rung by rung
+                            (symbolic, symbolic-restricted, explicit,
+                            partial report) instead of running away
+  --timeout-ms <n>          cooperative wall-clock deadline for the whole
+                            flow, in milliseconds
+  --no-fallback             surface the typed budget error instead of
+                            descending the degradation ladder
 
 output:
   --write-g <path>          write the encoded STG back in .g format
@@ -158,6 +169,27 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--node-budget" => {
+                index += 1;
+                match args.get(index).and_then(|v| v.parse().ok()) {
+                    Some(nodes) => options.node_budget = Some(nodes),
+                    None => {
+                        eprintln!("--node-budget needs a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--timeout-ms" => {
+                index += 1;
+                match args.get(index).and_then(|v| v.parse().ok()) {
+                    Some(ms) => options.timeout_ms = Some(ms),
+                    None => {
+                        eprintln!("--timeout-ms needs a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--no-fallback" => options.no_fallback = true,
             "--benchmark" => {
                 index += 1;
                 benchmark = args.get(index).cloned();
@@ -210,6 +242,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // Structural validation runs before any reachability analysis: errors
+    // describe nets without a well-defined safe state graph, so the flow
+    // would only fail later and deeper.  Warnings are advisory.
+    let validation = stg::validate(&model);
+    for warning in validation.warnings() {
+        eprintln!("warning: {warning}");
+    }
+    if validation.has_errors() {
+        for error in validation.errors() {
+            eprintln!("error: {error}");
+        }
+        eprintln!("the STG failed structural validation; refusing to start the flow");
+        return ExitCode::FAILURE;
+    }
 
     match run_flow(&model, &options) {
         Ok(report) => {

@@ -1,0 +1,134 @@
+//! Differential fuzz and fault-injection harness.
+//!
+//! Seeded random STGs ([`stg::fuzz`]) are driven through the governed flow
+//! under deliberately tight budgets, asserting the robustness contract end
+//! to end:
+//!
+//! * **no panics** — every outcome is a report or a typed error,
+//! * **no deadline overruns** — a flow with a `timeout_ms` terminates
+//!   within the deadline plus a bounded slack,
+//! * **monotone ladder descent** — degradation events only ever move down
+//!   the rung order, with a contiguous trail ending at the reported rung,
+//! * **engine agreement** — the explicit and the symbolic reachability
+//!   engines count the same states and reach the same CSC verdict,
+//! * **parser hardening** — mutated `.g` text is rejected with typed
+//!   errors, and the flow survives whatever still parses.
+//!
+//! Seed counts default to 500 per harness and can be lowered (or raised)
+//! with the `RSYNTH_FUZZ_SEEDS` environment variable, e.g. for a quick CI
+//! smoke pass.  A failing seed reproduces the exact same model.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+use stg::fuzz::{mutate_g, random_stg, SplitMix64};
+use synthkit::{run_flow, FlowOptions, FlowRung};
+
+/// Number of seeds to drive, from `RSYNTH_FUZZ_SEEDS` or the default.
+fn seed_count(default: u64) -> u64 {
+    std::env::var("RSYNTH_FUZZ_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Extra wall-clock allowance on top of a configured deadline: one BDD
+/// check interval plus the unbudgeted explicit rung on a tiny net.
+const DEADLINE_SLACK_MS: u64 = 2_000;
+
+#[test]
+fn explicit_and_symbolic_engines_agree_on_fuzzed_models() {
+    for seed in 0..seed_count(500) {
+        let model = random_stg(seed);
+        let sg = model.state_graph(200_000).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(sg.is_consistent(), "seed {seed}: inconsistent explicit state graph");
+        let space = model.symbolic_state_space(None);
+        assert!(space.converged, "seed {seed}: symbolic fixpoint truncated");
+        assert_eq!(
+            space.state_count(),
+            sg.num_states() as u128,
+            "seed {seed}: engines disagree on the reachable state count"
+        );
+        assert_eq!(
+            !sg.complete_state_coding_holds(),
+            model.symbolic_csc_violation(0),
+            "seed {seed}: engines disagree on the CSC verdict"
+        );
+    }
+}
+
+#[test]
+fn governed_flows_never_panic_overrun_or_descend_non_monotonically() {
+    for seed in 0..seed_count(500) {
+        let model = random_stg(seed);
+        // Derive the fault injection from the same seed: a node ceiling
+        // (often absurdly tight) plus a deadline, so even an explicit rung
+        // that inherits a pathological model stays bounded.
+        let mut rng = SplitMix64::new(seed ^ 0x5eed_ba5e);
+        let options = FlowOptions {
+            node_budget: Some(32 + rng.below(4096) as u64),
+            timeout_ms: Some(20 + rng.below(300) as u64),
+            ..FlowOptions::default()
+        };
+        let start = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_flow(&model, &options)));
+        let elapsed = start.elapsed().as_millis() as u64;
+        let result = outcome.unwrap_or_else(|_| panic!("seed {seed}: run_flow panicked"));
+        if let Some(timeout) = options.timeout_ms {
+            assert!(
+                elapsed < timeout + DEADLINE_SLACK_MS,
+                "seed {seed}: flow overran the deadline ({elapsed} ms vs {timeout} ms)"
+            );
+        }
+        // A typed solver error (e.g. an unsolvable conflict routed through
+        // the explicit pipeline) is a legitimate outcome; the contract is
+        // only that it is *typed*, which the Ok/Err split already proves.
+        if let Ok(report) = result {
+            // The degradation trail must descend monotonically and end
+            // where the report says the flow ended.  (It need not start
+            // at the symbolic rung: by-design routing — e.g. a typed
+            // no-candidate failure — can hand over to the explicit rung
+            // without a degradation event.)
+            let mut position = FlowRung::Symbolic;
+            for event in &report.degradations {
+                assert!(
+                    event.from >= position,
+                    "seed {seed}: degradation trail moved up ({} after {position})",
+                    event.from
+                );
+                assert!(
+                    event.to > event.from,
+                    "seed {seed}: ladder climbed ({} -> {})",
+                    event.from,
+                    event.to
+                );
+                position = event.to;
+            }
+            if let Some(last) = report.degradations.last() {
+                assert_eq!(
+                    report.rung, last.to,
+                    "seed {seed}: reported rung does not match the trail"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mutated_g_text_never_panics_the_parser_or_the_flow() {
+    for seed in 0..seed_count(500) {
+        let base = random_stg(seed % 16).to_g();
+        let mutated = mutate_g(&base, seed);
+        let parsed = catch_unwind(|| stg::parse_g(&mutated))
+            .unwrap_or_else(|_| panic!("seed {seed}: parse_g panicked on mutated input"));
+        let Ok(model) = parsed else { continue };
+        // Whatever still parses must survive validation …
+        let report = catch_unwind(AssertUnwindSafe(|| stg::validate(&model)))
+            .unwrap_or_else(|_| panic!("seed {seed}: validate panicked"));
+        if report.has_errors() {
+            continue;
+        }
+        // … and a tightly budgeted governed flow: a typed error or a
+        // (possibly degraded) report, never a panic.
+        let options =
+            FlowOptions { node_budget: Some(512), timeout_ms: Some(500), ..FlowOptions::default() };
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_flow(&model, &options)));
+        assert!(outcome.is_ok(), "seed {seed}: run_flow panicked on a mutated model");
+    }
+}

@@ -36,6 +36,16 @@ logic:
                             end and cannot combine with --solver symbolic)
   --no-area                 skip the logic derivation / area estimate
 
+resources:
+  --node-budget <n>         cap the BDD nodes the flow may allocate; on
+                            overrun the flow degrades rung by rung
+                            (symbolic, symbolic-restricted, explicit,
+                            partial report) instead of running away
+  --timeout-ms <n>          cooperative wall-clock deadline for the whole
+                            flow, in milliseconds
+  --no-fallback             surface the typed budget error instead of
+                            descending the degradation ladder
+
 output:
   --write-g <path>          write the encoded STG back in .g format
   --help, -h                show this help
@@ -65,6 +75,9 @@ fn every_parsed_flag_is_documented() {
         "--enlarge",
         "--logic",
         "--no-area",
+        "--node-budget",
+        "--timeout-ms",
+        "--no-fallback",
         "--write-g",
         "--help",
     ] {
@@ -90,6 +103,38 @@ fn contradictory_logic_solver_combination_is_rejected() {
     // Either flag alone is fine.
     assert!(rsynth(&["--benchmark", "pulser", "--logic", "explicit"]).status.success());
     assert!(rsynth(&["--benchmark", "pulser", "--solver", "symbolic"]).status.success());
+}
+
+#[test]
+fn budget_flags_drive_the_degradation_ladder() {
+    // A 64-node ceiling is far too small for the symbolic rungs, so the
+    // flow descends to the explicit engine and reports the trail.
+    let out = rsynth(&["--benchmark", "pulser", "--node-budget", "64"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("rung        : explicit"), "{text}");
+    assert!(text.contains("~~ degraded"), "{text}");
+    // --no-fallback surfaces the typed budget error instead.
+    let out = rsynth(&["--benchmark", "pulser", "--node-budget", "64", "--no-fallback"]);
+    assert!(!out.status.success());
+    let text = String::from_utf8(out.stderr).unwrap();
+    assert!(text.contains("budget exceeded"), "{text}");
+    // Malformed values are rejected up front.
+    assert!(!rsynth(&["--benchmark", "pulser", "--node-budget", "lots"]).status.success());
+    assert!(!rsynth(&["--benchmark", "pulser", "--timeout-ms", "soon"]).status.success());
+}
+
+#[test]
+fn structurally_broken_inputs_are_rejected_before_the_flow() {
+    let path = std::env::temp_dir().join("rsynth_dead_marking_test.g");
+    std::fs::write(&path, ".model broken\n.inputs a\n.graph\na+ a-\na- a+\n.marking { }\n.end\n")
+        .unwrap();
+    let out = rsynth(&[path.to_str().unwrap()]);
+    let _ = std::fs::remove_file(&path);
+    assert!(!out.status.success());
+    let text = String::from_utf8(out.stderr).unwrap();
+    assert!(text.contains("failed structural validation"), "{text}");
+    assert!(text.contains("no token"), "{text}");
 }
 
 #[test]

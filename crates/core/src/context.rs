@@ -163,6 +163,12 @@ impl SolverContext {
         if self.conflicts.is_empty() {
             return Ok(false);
         }
+        // Cooperative governance: the explicit pipeline allocates no BDD
+        // nodes, so only the deadline and the cancel flag apply here.
+        if let Some(budget) = &self.config.budget {
+            budget.set_stage("explicit-solver");
+            budget.check_deadline()?;
+        }
         if self.inserted.len() >= self.config.max_signals {
             return Err(CscError::SignalLimitReached {
                 limit: self.config.max_signals,
@@ -197,6 +203,11 @@ impl SolverContext {
         self.stats.stage.search_ms += ms_since(stage_start);
         self.stats.stage.candidates_evaluated += search_stats.evaluated;
         self.stats.stage.candidates_pruned += search_stats.pruned;
+        // The search is the long pole of an iteration; re-check the
+        // deadline before committing to the insertion work.
+        if let Some(budget) = &self.config.budget {
+            budget.check_deadline()?;
+        }
 
         // Stage: partition (extraction + optional concurrency enlargement).
         let stage_start = Instant::now();

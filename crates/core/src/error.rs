@@ -1,5 +1,6 @@
 //! Error type for the CSC solver.
 
+use bdd::BudgetExceeded;
 use std::error::Error;
 use std::fmt;
 
@@ -46,6 +47,9 @@ pub enum CscError {
         /// States of the encoded (marking, code) fixpoint.
         coded_states: usize,
     },
+    /// A resource budget (node ceiling, step ceiling, deadline or
+    /// cancellation) tripped during the symbolic solve.
+    Budget(BudgetExceeded),
 }
 
 impl fmt::Display for CscError {
@@ -72,6 +76,7 @@ impl fmt::Display for CscError {
                 "initial code mismatch: {markings} reachable markings vs {coded_states} coded states \
                  (wrong initial_code seed)"
             ),
+            CscError::Budget(e) => write!(f, "{e}"),
         }
     }
 }
@@ -81,8 +86,15 @@ impl Error for CscError {
         match self {
             CscError::Stg(e) => Some(e),
             CscError::Insertion(e) => Some(e),
+            CscError::Budget(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<BudgetExceeded> for CscError {
+    fn from(value: BudgetExceeded) -> Self {
+        CscError::Budget(value)
     }
 }
 

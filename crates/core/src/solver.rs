@@ -57,6 +57,11 @@ pub struct SolverConfig {
     /// selected block — and therefore the whole solution — is identical for
     /// every value (deterministic reduction).
     pub jobs: usize,
+    /// Optional resource governor.  The explicit pipeline allocates no BDD
+    /// nodes, so only the wall-clock deadline and cooperative cancellation
+    /// are honoured (checked between solver stages); node and step
+    /// ceilings govern the symbolic engines.
+    pub budget: Option<bdd::Budget>,
 }
 
 impl Default for SolverConfig {
@@ -72,6 +77,7 @@ impl Default for SolverConfig {
             resynthesize: true,
             signal_prefix: "csc".to_owned(),
             jobs: 1,
+            budget: None,
         }
     }
 }

@@ -44,10 +44,13 @@
 
 use crate::solver::{SolveStats, SolverConfig};
 use crate::CscError;
-use bdd::{Bdd, BddManager, FxHashMap, FxHashSet, VarId};
+use bdd::{Bdd, BddManager, Budget, FxHashMap, FxHashSet, VarId};
 use petri::{PetriNetBuilder, TransId};
 use std::time::Instant;
-use stg::{Signal, SignalId, SignalKind, Stg, SymbolicStateSpace, TransitionLabel};
+use stg::{
+    ReachabilityConfig, Signal, SignalId, SignalKind, Stg, StgError, SymbolicStateSpace,
+    TransitionLabel,
+};
 
 /// Which CSC solver the flow facade drives for a conflicted design.
 ///
@@ -164,6 +167,46 @@ pub fn solve_stg_symbolic_seeded(
     config: &SolverConfig,
     initial_code: u64,
 ) -> Result<SymbolicSolution, CscError> {
+    solve_symbolic_inner(model, config, initial_code, &ReachabilityConfig::default())
+}
+
+/// [`solve_stg_symbolic_seeded`] under a shared resource [`Budget`]: every
+/// reachability fixpoint and candidate evaluation charges the budget, and a
+/// tripped ceiling surfaces as [`CscError::Budget`] within one check
+/// interval instead of running away.
+pub fn solve_stg_symbolic_budgeted(
+    model: &Stg,
+    config: &SolverConfig,
+    initial_code: u64,
+    budget: &Budget,
+) -> Result<SymbolicSolution, CscError> {
+    solve_symbolic_inner(
+        model,
+        config,
+        initial_code,
+        &ReachabilityConfig::with_budget(budget.clone()),
+    )
+}
+
+/// [`solve_stg_symbolic_seeded`] under a caller-supplied
+/// [`ReachabilityConfig`]: the degradation ladder uses this to retry the
+/// solve with a restricted fixpoint (monolithic BFS) on the same budget.
+pub fn solve_stg_symbolic_with(
+    model: &Stg,
+    config: &SolverConfig,
+    initial_code: u64,
+    reach: &ReachabilityConfig,
+) -> Result<SymbolicSolution, CscError> {
+    solve_symbolic_inner(model, config, initial_code, reach)
+}
+
+fn solve_symbolic_inner(
+    model: &Stg,
+    config: &SolverConfig,
+    initial_code: u64,
+    reach: &ReachabilityConfig,
+) -> Result<SymbolicSolution, CscError> {
+    let budget = reach.budget.as_ref();
     let start = Instant::now();
     let mut current = model.clone();
     let mut inserted: Vec<String> = Vec::new();
@@ -179,9 +222,15 @@ pub fn solve_stg_symbolic_seeded(
         let t0 = Instant::now();
         let mut it = match carried.take() {
             Some(it) => it,
-            None => Iteration::build(&current, initial_code, inserted.last().map(String::as_str))?,
+            None => Iteration::build(
+                &current,
+                initial_code,
+                inserted.last().map(String::as_str),
+                reach,
+            )?,
         };
         let conflicted = it.detect_conflicts();
+        it.check_budget()?;
         stats.stage.conflict_ms += ms_since(t0);
         let states = saturating_usize(it.state_count);
         if inserted.is_empty() {
@@ -219,14 +268,19 @@ pub fn solve_stg_symbolic_seeded(
         let current_total = it.total_conflict_pairs();
         let current_markings = it.marking_count;
         let name = fresh_signal_name(&current, &config.signal_prefix);
+        if let Some(budget) = budget {
+            budget.set_stage("candidate-search");
+        }
         let mut chosen: Option<(ConflictCore, Stg, Iteration)> = None;
         'signals: for &signal in &conflicted {
+            it.check_budget()?;
             let core = it.extract_core(signal);
             let t1 = Instant::now();
             let candidates = it.search_blocks(&core, config, &mut stats);
             stats.stage.search_ms += ms_since(t1);
             let t2 = Instant::now();
             let plans = it.select_plans(&core, &candidates, config, &mut stats);
+            it.check_budget()?;
             stats.stage.partition_ms += ms_since(t2);
             let core_pairs = it.signal_conflict_pairs(signal);
             let t3 = Instant::now();
@@ -237,6 +291,7 @@ pub fn solve_stg_symbolic_seeded(
             // secondary-conflict tier of the explicit search).
             let mut fallback: Option<(Stg, Iteration)> = None;
             for plan in &plans {
+                it.check_budget()?;
                 let mut plan = plan.clone();
                 let tp = Instant::now();
                 it.finalize_premarks(&mut plan);
@@ -248,12 +303,21 @@ pub fn solve_stg_symbolic_seeded(
                 };
                 let InsertedStg { stg: candidate_stg, new_places } = inserted_stg;
                 let tb = Instant::now();
-                let built = Iteration::build(&candidate_stg, initial_code, Some(&name));
+                // The rebuilt net's reachability is a sub-step of candidate
+                // verification: label its budget trips accordingly.
+                let verify_reach =
+                    ReachabilityConfig { stage: Some("candidate-search"), ..reach.clone() };
+                let built =
+                    Iteration::build(&candidate_stg, initial_code, Some(&name), &verify_reach);
                 if debug {
                     eprintln!("  verify build: {:.2?} (ok={})", tb.elapsed(), built.is_ok());
                 }
-                let Ok(mut next) = built else {
-                    continue;
+                let mut next = match built {
+                    Ok(next) => next,
+                    // A budget trip must stop the whole solve, not just this
+                    // plan — otherwise a deadline would be retried away.
+                    Err(CscError::Budget(trip)) => return Err(CscError::Budget(trip)),
+                    Err(_) => continue,
                 };
                 // Behaviour preservation: the encoded net projected onto
                 // the original places must reach exactly the original
@@ -491,6 +555,17 @@ struct Zone {
     sup: Vec<VarId>,
 }
 
+/// Maps a reachability failure onto the solver's error space: budget trips
+/// and truncated fixpoints keep their typed identity instead of being
+/// wrapped as generic STG errors.
+fn reachability_error(e: StgError) -> CscError {
+    match e {
+        StgError::Budget(trip) => CscError::Budget(trip),
+        StgError::NotConverged { iterations } => CscError::NotConverged { iterations },
+        other => CscError::Stg(other),
+    }
+}
+
 /// Sorted-merge of two support hints.
 fn merge_sup(a: &[VarId], b: &[VarId]) -> Vec<VarId> {
     let mut out = Vec::with_capacity(a.len() + b.len());
@@ -548,21 +623,32 @@ struct Iteration {
 }
 
 impl Iteration {
+    /// Flushes the manager's batched budget charges (sampling the deadline)
+    /// and surfaces a pending trip as [`CscError::Budget`].  A no-op without
+    /// an attached budget.
+    fn check_budget(&mut self) -> Result<(), CscError> {
+        self.space.manager_mut().check_budget().map_err(CscError::Budget)
+    }
+
     /// Runs encoded reachability, guards the seed, and interns the branch
-    /// predicates.  `last_inserted` labels a consistency failure.
-    fn build(stg: &Stg, initial_code: u64, last_inserted: Option<&str>) -> Result<Self, CscError> {
-        let mut space = stg.symbolic_encoded_state_space(initial_code, None);
-        if !space.converged {
-            return Err(CscError::NotConverged { iterations: space.iterations });
-        }
+    /// predicates.  `last_inserted` labels a consistency failure; the
+    /// config's budget (if any) is attached to the space's manager, so every
+    /// analysis this iteration performs afterwards is charged against it.
+    fn build(
+        stg: &Stg,
+        initial_code: u64,
+        last_inserted: Option<&str>,
+        reach_config: &ReachabilityConfig,
+    ) -> Result<Self, CscError> {
+        let mut space = stg
+            .try_symbolic_encoded_state_space(initial_code, reach_config)
+            .map_err(reachability_error)?;
         // Seed guard: every reachable marking must carry exactly one code.
         // The places-only fixpoint is the ground truth; a mismatch on the
         // first iteration means a wrong `initial_code`, later on it would
         // mean the previous insertion broke consistency.
-        let marking_space = stg.symbolic_state_space(None);
-        if !marking_space.converged {
-            return Err(CscError::NotConverged { iterations: marking_space.iterations });
-        }
+        let marking_space =
+            stg.try_symbolic_state_space(reach_config).map_err(reachability_error)?;
         let markings = marking_space.state_count_f64();
         let coded_states = space.state_count_f64();
         let num_places = space.num_places();

@@ -62,5 +62,6 @@ pub use nextstate::{
     NextStateFunctions, SignalFunction,
 };
 pub use symbolic::{
-    analyze_stg, derive_from_stg as derive_next_state_functions_stg, SymbolicLogicReport,
+    analyze_stg, analyze_stg_budgeted, analyze_stg_with,
+    derive_from_stg as derive_next_state_functions_stg, SymbolicLogicReport,
 };

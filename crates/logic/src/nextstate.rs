@@ -62,6 +62,9 @@ pub enum LogicError {
         /// (marking, code) pairs of the encoded space, rounded.
         coded_states: u128,
     },
+    /// A resource budget (node ceiling, step ceiling, deadline or
+    /// cancellation) tripped during the symbolic derivation.
+    Budget(bdd::BudgetExceeded),
 }
 
 impl fmt::Display for LogicError {
@@ -85,7 +88,14 @@ impl fmt::Display for LogicError {
                      marking/code pairs); pass the correct initial code"
                 )
             }
+            LogicError::Budget(e) => write!(f, "{e}"),
         }
+    }
+}
+
+impl From<bdd::BudgetExceeded> for LogicError {
+    fn from(value: bdd::BudgetExceeded) -> Self {
+        LogicError::Budget(value)
     }
 }
 

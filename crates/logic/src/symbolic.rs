@@ -28,9 +28,9 @@ use crate::cube::{Cover, Cube};
 use crate::nextstate::{
     code_pattern, next_value_masks, LogicError, LogicStrategy, NextStateFunctions, SignalFunction,
 };
-use bdd::{Bdd, BddManager, VarId};
+use bdd::{Bdd, BddManager, Budget, VarId};
 use csc::EncodedGraph;
-use stg::{Polarity, SignalId, Stg, TransitionLabel};
+use stg::{Polarity, ReachabilityConfig, SignalId, Stg, StgError, TransitionLabel};
 use ts::StateId;
 
 /// Derives the next-state functions of an encoded state graph on BDDs.
@@ -161,10 +161,57 @@ pub fn analyze_stg(
     initial_code: u64,
     max_iterations: Option<usize>,
 ) -> Result<SymbolicLogicReport, LogicError> {
-    let mut space = stg.symbolic_encoded_state_space(initial_code, max_iterations);
-    if !space.converged {
-        return Err(LogicError::ReachabilityNotConverged { iterations: space.iterations });
+    let reach = ReachabilityConfig { max_iterations, ..Default::default() };
+    analyze_inner(stg, initial_code, &reach)
+}
+
+/// [`analyze_stg`] under a shared resource [`Budget`]: reachability and the
+/// ISOP cover extractions charge the budget, and a tripped ceiling surfaces
+/// as [`LogicError::Budget`] within one check interval.
+pub fn analyze_stg_budgeted(
+    stg: &Stg,
+    initial_code: u64,
+    max_iterations: Option<usize>,
+    budget: &Budget,
+) -> Result<SymbolicLogicReport, LogicError> {
+    let reach =
+        ReachabilityConfig { max_iterations, budget: Some(budget.clone()), ..Default::default() };
+    analyze_inner(stg, initial_code, &reach)
+}
+
+/// [`analyze_stg`] under a caller-supplied [`ReachabilityConfig`]: the
+/// fallback ladder uses this to re-run the analysis with a restricted
+/// fixpoint (monolithic BFS) while keeping the same shared budget.
+pub fn analyze_stg_with(
+    stg: &Stg,
+    initial_code: u64,
+    reach: &ReachabilityConfig,
+) -> Result<SymbolicLogicReport, LogicError> {
+    analyze_inner(stg, initial_code, reach)
+}
+
+/// Maps a reachability failure onto the logic error space.  Reachability
+/// only fails through its budget or a truncated fixpoint, so the catch-all
+/// arm is an internal invariant.
+fn reachability_error(e: StgError) -> LogicError {
+    match e {
+        StgError::Budget(trip) => LogicError::Budget(trip),
+        StgError::NotConverged { iterations } => {
+            LogicError::ReachabilityNotConverged { iterations }
+        }
+        other => unreachable!("reachability cannot fail with {other:?}"),
     }
+}
+
+fn analyze_inner(
+    stg: &Stg,
+    initial_code: u64,
+    reach_config: &ReachabilityConfig,
+) -> Result<SymbolicLogicReport, LogicError> {
+    let budget = reach_config.budget.as_ref();
+    let mut space = stg
+        .try_symbolic_encoded_state_space(initial_code, reach_config)
+        .map_err(reachability_error)?;
     let num_places = space.num_places();
     let num_signals = space.num_signals();
     let place_vars: Vec<VarId> = (0..num_places).map(|p| space.current_var_of_place(p)).collect();
@@ -181,10 +228,7 @@ pub fn analyze_stg(
     // encoded space.  The places-only fixpoint is the ground truth: every
     // reachable marking must appear in the encoded space with exactly one
     // code.
-    let marking_space = stg.symbolic_state_space(max_iterations);
-    if !marking_space.converged {
-        return Err(LogicError::ReachabilityNotConverged { iterations: marking_space.iterations });
-    }
+    let marking_space = stg.try_symbolic_state_space(reach_config).map_err(reachability_error)?;
     let markings = marking_space.state_count_f64();
     let coded_states = space.state_count_f64();
     let reachable = space.reachable();
@@ -208,8 +252,12 @@ pub fn analyze_stg(
     }
     let place_quant = m.quant_cube(&place_vars);
 
+    if let Some(budget) = budget {
+        budget.set_stage("isop");
+    }
     let mut functions = Vec::new();
     for signal in stg.non_input_signals() {
+        m.check_budget()?;
         let index = signal.index();
         let a = m.var(signal_vars[index]);
         // Excitation predicates per polarity: some transition of the signal
@@ -263,6 +311,7 @@ pub fn analyze_stg(
         functions.push(function);
     }
     let diagnostics = persistency_diagnostics(stg, m, reachable, &place_vars, &signal_vars);
+    m.check_budget()?;
     let bdd_nodes = space.manager().num_nodes();
     Ok(SymbolicLogicReport {
         functions: NextStateFunctions {

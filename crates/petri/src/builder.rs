@@ -69,15 +69,43 @@ impl PetriNetBuilder {
         id
     }
 
+    /// Checks that builder-issued ids actually come from *this* builder.
+    /// Ids are opaque newtypes only this type hands out, so an
+    /// out-of-range index is caller misuse, not recoverable input — it is
+    /// reported as an invariant panic with the offending id rather than
+    /// an opaque slice-index message.
+    fn check_ids(&self, place: PlaceId, transition: TransId) {
+        assert!(
+            place.index() < self.place_names.len(),
+            "place id {place:?} was not issued by this builder ({} places)",
+            self.place_names.len()
+        );
+        assert!(
+            transition.index() < self.trans_names.len(),
+            "transition id {transition:?} was not issued by this builder ({} transitions)",
+            self.trans_names.len()
+        );
+    }
+
     /// Adds an arc from `place` to `transition` (the transition consumes a
     /// token from the place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id was not issued by this builder.
     pub fn add_arc_place_to_transition(&mut self, place: PlaceId, transition: TransId) {
+        self.check_ids(place, transition);
         self.pre[transition.index()].push(place);
     }
 
     /// Adds an arc from `transition` to `place` (the transition produces a
     /// token into the place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id was not issued by this builder.
     pub fn add_arc_transition_to_place(&mut self, transition: TransId, place: PlaceId) {
+        self.check_ids(place, transition);
         self.post[transition.index()].push(place);
     }
 
@@ -107,7 +135,16 @@ impl PetriNetBuilder {
     }
 
     /// Marks `place` with a token in the initial marking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `place` was not issued by this builder.
     pub fn mark_place(&mut self, place: PlaceId) {
+        assert!(
+            place.index() < self.place_names.len(),
+            "place id {place:?} was not issued by this builder ({} places)",
+            self.place_names.len()
+        );
         self.place_tokens[place.index()] = 1;
     }
 

@@ -1,5 +1,6 @@
 //! Error type for STG construction and analysis.
 
+use bdd::BudgetExceeded;
 use petri::PetriError;
 use std::error::Error;
 use std::fmt;
@@ -37,6 +38,16 @@ pub enum StgError {
         /// The undeclared name.
         name: String,
     },
+    /// Symbolic reachability hit its iteration cap before reaching a
+    /// fixpoint: the computed set is truncated and must not be used as "the
+    /// reachable states".
+    NotConverged {
+        /// Image rounds performed before giving up.
+        iterations: usize,
+    },
+    /// A resource budget (node ceiling, step ceiling, deadline or
+    /// cancellation) tripped during a symbolic analysis.
+    Budget(BudgetExceeded),
 }
 
 impl fmt::Display for StgError {
@@ -55,6 +66,10 @@ impl fmt::Display for StgError {
             }
             StgError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
             StgError::UnknownName { name } => write!(f, "unknown signal or transition '{name}'"),
+            StgError::NotConverged { iterations } => {
+                write!(f, "symbolic reachability did not converge within {iterations} iterations")
+            }
+            StgError::Budget(e) => write!(f, "{e}"),
         }
     }
 }
@@ -63,6 +78,7 @@ impl Error for StgError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             StgError::Net(e) => Some(e),
+            StgError::Budget(e) => Some(e),
             _ => None,
         }
     }
@@ -71,6 +87,12 @@ impl Error for StgError {
 impl From<PetriError> for StgError {
     fn from(value: PetriError) -> Self {
         StgError::Net(value)
+    }
+}
+
+impl From<BudgetExceeded> for StgError {
+    fn from(value: BudgetExceeded) -> Self {
+        StgError::Budget(value)
     }
 }
 

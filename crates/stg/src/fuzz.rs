@@ -1,0 +1,288 @@
+//! Deterministic STG fuzzing utilities.
+//!
+//! This module powers the differential robustness harness: it generates
+//! *consistent-by-construction* STGs from a seed (so the explicit and the
+//! symbolic engines can be run on the same model and compared), and mutates
+//! `.g` interchange text (so the parser can be hardened against malformed
+//! input).  Everything is seeded and reproducible — a failing seed printed
+//! by the harness replays the exact same model.
+//!
+//! * [`random_stg`] / [`random_stg_with`] — seeded generator of safe, live,
+//!   consistently-labelled STGs (fork/join marked graphs whose branches
+//!   interleave rise-before-fall signal edges),
+//! * [`mutate_g`] — seeded structural mutation of `.g` text: deleted,
+//!   duplicated and truncated lines, token swaps, injected garbage,
+//! * [`SplitMix64`] — the tiny deterministic RNG behind both, exposed so
+//!   harnesses can derive auxiliary choices (budgets, strategies) from the
+//!   same seed.
+
+use crate::model::{Stg, StgBuilder};
+use crate::signal::{Polarity, SignalId, SignalKind};
+
+/// SplitMix64: a tiny, high-quality, deterministic pseudo-random generator.
+///
+/// Not cryptographic; used only to derive reproducible fuzz cases.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be non-zero).
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Fair coin.
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Size bounds for [`random_stg_with`].
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Maximum number of concurrent branches (≥ 1).
+    pub max_branches: usize,
+    /// Maximum number of signals owned by one branch (≥ 1).
+    pub max_signals_per_branch: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig { max_branches: 3, max_signals_per_branch: 3 }
+    }
+}
+
+/// Generates a random STG from `seed` with the default size bounds.
+///
+/// The result is always a safe, live, consistently-labelled STG: both the
+/// explicit and the symbolic engines accept it, which is what makes the
+/// differential comparison meaningful.
+pub fn random_stg(seed: u64) -> Stg {
+    random_stg_with(seed, &FuzzConfig::default())
+}
+
+/// Generates a random STG from `seed` within the given size bounds.
+///
+/// Shape: `branches` parallel chains between a fork dummy and a join dummy
+/// (or a single plain cycle when only one branch is drawn).  Each branch
+/// owns a disjoint set of signals and interleaves their edges uniformly at
+/// random subject to *rise before fall*, so every signal alternates `0 → 1
+/// → 0` along any firing of the cycle — the net is consistent by
+/// construction, and as a marked graph it is free of choice, hence safe.
+pub fn random_stg_with(seed: u64, config: &FuzzConfig) -> Stg {
+    let mut rng = SplitMix64::new(seed);
+    let branches = 1 + rng.below(config.max_branches.max(1));
+    let mut b = StgBuilder::new(format!("fuzz_{seed:016x}"));
+
+    // Disjoint per-branch signal sets; at least one output signal overall
+    // so the model has circuit-driven behaviour to synthesize.
+    let mut branch_orders: Vec<Vec<(SignalId, Polarity)>> = Vec::new();
+    let mut signal_counter = 0usize;
+    for branch in 0..branches {
+        let signals = 1 + rng.below(config.max_signals_per_branch.max(1));
+        let mut order: Vec<(SignalId, Polarity)> = Vec::new();
+        for s in 0..signals {
+            let kind = if branch == 0 && s == 0 {
+                SignalKind::Output
+            } else if rng.coin() {
+                SignalKind::Input
+            } else {
+                SignalKind::Output
+            };
+            let id = b.add_signal(format!("s{signal_counter}"), kind);
+            signal_counter += 1;
+            // Insert the rising edge anywhere, the falling edge after it.
+            let i = rng.below(order.len() + 1);
+            order.insert(i, (id, Polarity::Rise));
+            let j = i + 1 + rng.below(order.len() - i);
+            order.insert(j, (id, Polarity::Fall));
+        }
+        branch_orders.push(order);
+    }
+
+    if branch_orders.len() == 1 {
+        let chain: Vec<_> = branch_orders[0].iter().map(|&(s, p)| b.add_edge(s, p)).collect();
+        b.connect_cycle(&chain);
+    } else {
+        let fork = b.add_dummy("fork");
+        let join = b.add_dummy("join");
+        for order in &branch_orders {
+            let chain: Vec<_> = order.iter().map(|&(s, p)| b.add_edge(s, p)).collect();
+            b.connect(fork, chain[0], false);
+            b.connect_chain(&chain);
+            b.connect(*chain.last().expect("branches are non-empty"), join, false);
+        }
+        b.connect(join, fork, true);
+    }
+
+    b.build().expect("fuzz STGs are structurally valid by construction")
+}
+
+/// Garbage fragments injected by [`mutate_g`].
+const GARBAGE: &[&str] = &[
+    "@@@",
+    ".graph",
+    ".marking {",
+    ".inputs",
+    "p? !!",
+    "a+ b- c~",
+    ".model",
+    "<dangling,",
+    ".end extra",
+];
+
+/// Applies 1–3 seeded structural mutations to `.g` interchange text.
+///
+/// Mutations include deleting, duplicating and truncating lines, swapping
+/// tokens within a line, replacing a token with an undeclared name, and
+/// injecting garbage lines.  The output is frequently *invalid*: the point
+/// is that [`crate::parse_g`] must reject it with a typed
+/// [`crate::StgError`] — never panic — and must still accept it when the
+/// mutation happens to preserve validity.
+pub fn mutate_g(text: &str, seed: u64) -> String {
+    let mut rng = SplitMix64::new(seed ^ 0xda39_a3ee_5e6b_4b0d);
+    let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+    let mutations = 1 + rng.below(3);
+    for _ in 0..mutations {
+        if lines.is_empty() {
+            lines.push(GARBAGE[rng.below(GARBAGE.len())].to_owned());
+            continue;
+        }
+        let idx = rng.below(lines.len());
+        match rng.below(6) {
+            0 => {
+                lines.remove(idx);
+            }
+            1 => {
+                let dup = lines[idx].clone();
+                lines.insert(idx, dup);
+            }
+            2 => {
+                let line = &mut lines[idx];
+                if !line.is_empty() {
+                    let cut = rng.below(line.chars().count());
+                    *line = line.chars().take(cut).collect();
+                }
+            }
+            3 => {
+                let mut tokens: Vec<&str> = lines[idx].split_whitespace().collect();
+                if tokens.len() >= 2 {
+                    let a = rng.below(tokens.len());
+                    let b = rng.below(tokens.len());
+                    tokens.swap(a, b);
+                    lines[idx] = tokens.join(" ");
+                }
+            }
+            4 => {
+                let mut tokens: Vec<String> =
+                    lines[idx].split_whitespace().map(str::to_owned).collect();
+                if !tokens.is_empty() {
+                    let a = rng.below(tokens.len());
+                    tokens[a] = format!("undeclared_{}", rng.below(1000));
+                    lines[idx] = tokens.join(" ");
+                }
+            }
+            _ => {
+                lines.insert(idx, GARBAGE[rng.below(GARBAGE.len())].to_owned());
+            }
+        }
+    }
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_g;
+    use crate::validate::validate;
+
+    #[test]
+    fn generated_stgs_are_well_formed() {
+        for seed in 0..60 {
+            let stg = random_stg(seed);
+            let report = validate(&stg);
+            assert!(report.is_clean(), "seed {seed}: {report}");
+            let sg = stg.state_graph(100_000).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(sg.is_consistent(), "seed {seed} is inconsistent");
+            assert!(sg.num_states() >= 2, "seed {seed} has a trivial state graph");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = random_stg(42).to_g();
+        let b = random_stg(42).to_g();
+        assert_eq!(a, b);
+        let c = random_stg(43).to_g();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_stgs_round_trip_through_g_format() {
+        for seed in 0..20 {
+            let stg = random_stg(seed);
+            let text = stg.to_g();
+            let back = parse_g(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(back.num_signals(), stg.num_signals(), "seed {seed}");
+            assert_eq!(back.net().num_transitions(), stg.net().num_transitions(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_and_changes_the_text() {
+        let base = random_stg(7).to_g();
+        let a = mutate_g(&base, 1);
+        let b = mutate_g(&base, 1);
+        assert_eq!(a, b);
+        let mut changed = 0;
+        for seed in 0..20 {
+            if mutate_g(&base, seed) != base {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 15, "only {changed}/20 mutations changed the text");
+    }
+
+    #[test]
+    fn parser_survives_mutated_text() {
+        for model_seed in 0..5u64 {
+            let base = random_stg(model_seed).to_g();
+            for mutation_seed in 0..200u64 {
+                // Ok (mutation kept validity) or typed Err are both fine;
+                // the parser must simply never panic.
+                let _ = parse_g(&mutate_g(&base, mutation_seed));
+            }
+        }
+    }
+
+    #[test]
+    fn splitmix_is_uniform_enough() {
+        let mut rng = SplitMix64::new(123);
+        let mut buckets = [0usize; 8];
+        for _ in 0..8000 {
+            buckets[rng.below(8)] += 1;
+        }
+        for (i, &count) in buckets.iter().enumerate() {
+            assert!((800..1200).contains(&count), "bucket {i} has {count} hits");
+        }
+    }
+}

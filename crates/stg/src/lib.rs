@@ -18,7 +18,9 @@
 //! * a BDD-based symbolic reachability engine used for the very large
 //!   benchmarks of Table 1 ([`symbolic`]),
 //! * the benchmark suite used by the experiment harnesses
-//!   ([`benchmarks`]).
+//!   ([`benchmarks`]),
+//! * a structural validator with typed diagnostics ([`validate`]) and a
+//!   seeded fuzzer for differential hardening ([`fuzz`]).
 //!
 //! # Example
 //!
@@ -38,15 +40,20 @@
 
 pub mod benchmarks;
 mod error;
+pub mod fuzz;
 mod model;
 mod parser;
 mod signal;
 mod state_graph;
 pub mod symbolic;
+mod validate;
 
 pub use error::StgError;
 pub use model::{Stg, StgBuilder, TransitionLabel};
 pub use parser::parse_g;
 pub use signal::{Polarity, Signal, SignalId, SignalKind};
 pub use state_graph::StateGraph;
-pub use symbolic::{ReachabilityStrategy, SymbolicStateSpace, TransitionBranch};
+pub use symbolic::{
+    ReachabilityConfig, ReachabilityStrategy, SymbolicStateSpace, TransitionBranch,
+};
+pub use validate::{validate, Severity, ValidationIssue, ValidationReport};

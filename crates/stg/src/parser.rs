@@ -39,7 +39,6 @@ use std::fmt::Write as _;
 /// well-formed, and the usual construction errors otherwise.
 pub fn parse_g(text: &str) -> Result<Stg, StgError> {
     let mut name = String::from("model");
-    let mut builder: Option<StgBuilder> = None;
     let mut declared: Vec<(String, SignalKind)> = Vec::new();
     let mut dummies: Vec<String> = Vec::new();
     let mut graph_lines: Vec<(usize, String)> = Vec::new();
@@ -85,8 +84,6 @@ pub fn parse_g(text: &str) -> Result<Stg, StgError> {
     for (sig, kind) in &declared {
         b.add_signal(sig.clone(), *kind);
     }
-    builder.replace(b);
-    let mut b = builder.expect("builder was just created");
 
     // First pass: create every transition node so instance numbering follows
     // the order of first appearance.

@@ -27,9 +27,10 @@
 //! a 24-wide parallel composition) and to detect the presence of encoding
 //! conflicts without building the explicit graph.
 
+use crate::error::StgError;
 use crate::model::{Stg, TransitionLabel};
 use crate::signal::Polarity;
-use bdd::{Bdd, BddManager, BddStats, FxHashMap, VarId};
+use bdd::{Bdd, BddManager, BddStats, Budget, FxHashMap, VarId};
 use petri::TransId;
 
 /// How the reachability fixpoint feeds each image step.
@@ -43,6 +44,34 @@ pub enum ReachabilityStrategy {
     /// Image the entire reachable set every iteration (the textbook least
     /// fixpoint).  Kept for equivalence testing and as a baseline.
     MonolithicBfs,
+}
+
+/// Configuration for the fallible reachability entry points
+/// ([`Stg::try_symbolic_state_space`] and friends).
+///
+/// The default is the frontier strategy, the default iteration cap
+/// (`4 × places`), and no resource budget.
+#[derive(Clone, Debug, Default)]
+pub struct ReachabilityConfig {
+    /// How each image step is fed.
+    pub strategy: ReachabilityStrategy,
+    /// Cap on breadth-first image rounds; `None` uses `4 × places`.
+    pub max_iterations: Option<usize>,
+    /// Shared resource budget charged for every BDD node the fixpoint
+    /// allocates and checked between image rounds.
+    pub budget: Option<Budget>,
+    /// Stage label reported by budget trips during the fixpoint; `None`
+    /// labels them `"reachability"`.  Callers running reachability as a
+    /// sub-step of a larger governed phase (the CSC solver's candidate
+    /// verification) override this so trips name the phase the user sees.
+    pub stage: Option<&'static str>,
+}
+
+impl ReachabilityConfig {
+    /// A config differing from the default only by its budget.
+    pub fn with_budget(budget: Budget) -> Self {
+        ReachabilityConfig { budget: Some(budget), ..Self::default() }
+    }
 }
 
 /// A symbolically represented set of reachable markings.
@@ -174,7 +203,13 @@ impl Stg {
     /// default (`None`) allows `4 × places` steps, which is ample for the
     /// benchmark suite.
     pub fn symbolic_state_space(&self, max_iterations: Option<usize>) -> SymbolicStateSpace {
-        self.symbolic_space_inner(false, 0, ReachabilityStrategy::default(), max_iterations)
+        infallible(self.symbolic_space_inner(
+            false,
+            0,
+            ReachabilityStrategy::default(),
+            max_iterations,
+            None,
+        ))
     }
 
     /// [`Self::symbolic_state_space`] with an explicit fixpoint strategy.
@@ -183,7 +218,47 @@ impl Stg {
         strategy: ReachabilityStrategy,
         max_iterations: Option<usize>,
     ) -> SymbolicStateSpace {
-        self.symbolic_space_inner(false, 0, strategy, max_iterations)
+        infallible(self.symbolic_space_inner(false, 0, strategy, max_iterations, None))
+    }
+
+    /// Fallible reachability over the place variables: honours the budget in
+    /// `config` and reports a typed [`StgError::NotConverged`] when the
+    /// iteration cap is hit, instead of silently returning a truncated set.
+    pub fn try_symbolic_state_space(
+        &self,
+        config: &ReachabilityConfig,
+    ) -> Result<SymbolicStateSpace, StgError> {
+        if let Some(budget) = &config.budget {
+            budget.set_stage(config.stage.unwrap_or("reachability"));
+        }
+        let space = self.symbolic_space_inner(
+            false,
+            0,
+            config.strategy,
+            config.max_iterations,
+            config.budget.as_ref(),
+        )?;
+        ensure_converged(space)
+    }
+
+    /// Fallible reachability over the (marking, code) pairs; see
+    /// [`Self::try_symbolic_state_space`].
+    pub fn try_symbolic_encoded_state_space(
+        &self,
+        initial_code: u64,
+        config: &ReachabilityConfig,
+    ) -> Result<SymbolicStateSpace, StgError> {
+        if let Some(budget) = &config.budget {
+            budget.set_stage(config.stage.unwrap_or("reachability"));
+        }
+        let space = self.symbolic_space_inner(
+            true,
+            initial_code,
+            config.strategy,
+            config.max_iterations,
+            config.budget.as_ref(),
+        )?;
+        ensure_converged(space)
     }
 
     /// Computes the reachable (marking, code) pairs symbolically.
@@ -196,12 +271,13 @@ impl Stg {
         initial_code: u64,
         max_iterations: Option<usize>,
     ) -> SymbolicStateSpace {
-        self.symbolic_space_inner(
+        infallible(self.symbolic_space_inner(
             true,
             initial_code,
             ReachabilityStrategy::default(),
             max_iterations,
-        )
+            None,
+        ))
     }
 
     /// [`Self::symbolic_encoded_state_space`] with an explicit strategy.
@@ -211,7 +287,7 @@ impl Stg {
         strategy: ReachabilityStrategy,
         max_iterations: Option<usize>,
     ) -> SymbolicStateSpace {
-        self.symbolic_space_inner(true, initial_code, strategy, max_iterations)
+        infallible(self.symbolic_space_inner(true, initial_code, strategy, max_iterations, None))
     }
 
     fn symbolic_space_inner(
@@ -220,7 +296,8 @@ impl Stg {
         initial_code: u64,
         strategy: ReachabilityStrategy,
         max_iterations: Option<usize>,
-    ) -> SymbolicStateSpace {
+        budget: Option<&Budget>,
+    ) -> Result<SymbolicStateSpace, StgError> {
         let net = self.net();
         let num_places = net.num_places();
         let num_signals = if with_codes { self.num_signals() } else { 0 };
@@ -278,6 +355,9 @@ impl Stg {
             (2 * num_state_vars).max(1),
             (num_state_vars.max(8) * 1024).min(1 << 20),
         );
+        if let Some(budget) = budget {
+            m.set_budget(budget.clone());
+        }
 
         // Initial state cube over the current-copy variables.
         let mut initial_lits: Vec<(VarId, bool)> = (0..num_places)
@@ -377,6 +457,11 @@ impl Stg {
         let mut frontier = initial;
         let mut converged = false;
         let mut iterations = 0;
+        // The relation build above may already have tripped the budget;
+        // surface that before imaging anything.
+        if budget.is_some() {
+            m.check_budget()?;
+        }
         for _ in 0..limit {
             let from = match strategy {
                 ReachabilityStrategy::FrontierBfs => frontier,
@@ -395,6 +480,13 @@ impl Stg {
                 image = m.or(image, step);
             }
             iterations += 1;
+            // One budget check per image round: flushes the batched node
+            // charges and samples the deadline, and catches any poison an
+            // in-round trip left behind before the truncated image is
+            // mistaken for a fixpoint.
+            if budget.is_some() {
+                m.check_budget()?;
+            }
             let fresh = m.and_not(image, reachable);
             if fresh.is_false() {
                 converged = true;
@@ -404,7 +496,7 @@ impl Stg {
             frontier = fresh;
         }
 
-        SymbolicStateSpace {
+        Ok(SymbolicStateSpace {
             manager: m,
             reachable,
             initial,
@@ -413,7 +505,24 @@ impl Stg {
             pos,
             converged,
             iterations,
-        }
+        })
+    }
+}
+
+/// Unwraps a budget-free reachability result.  Internal invariant: the inner
+/// fixpoint only fails through its budget, so with no budget attached the
+/// result is always `Ok`.
+fn infallible(result: Result<SymbolicStateSpace, StgError>) -> SymbolicStateSpace {
+    result.expect("reachability without a budget cannot fail")
+}
+
+/// Maps a truncated fixpoint to the typed diagnostic the fallible entry
+/// points promise.
+fn ensure_converged(space: SymbolicStateSpace) -> Result<SymbolicStateSpace, StgError> {
+    if space.converged {
+        Ok(space)
+    } else {
+        Err(StgError::NotConverged { iterations: space.iterations })
     }
 }
 
@@ -553,8 +662,27 @@ impl SymbolicStateSpace {
 impl Stg {
     /// Returns `true` if two distinct reachable markings share the same
     /// binary code (Unique State Coding violated), determined symbolically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if reachability does not converge within the default iteration
+    /// cap (`4 × places`) — an answer computed from a truncated set would be
+    /// silently wrong.  Use [`Self::try_symbolic_usc_violation`] to handle
+    /// that case as a typed error.
     pub fn symbolic_usc_violation(&self, initial_code: u64) -> bool {
-        let space = self.symbolic_encoded_state_space(initial_code, None);
+        self.try_symbolic_usc_violation(initial_code, &ReachabilityConfig::default())
+            .expect("reachability did not converge within the default iteration cap")
+    }
+
+    /// Fallible [`Self::symbolic_usc_violation`]: honours the budget and
+    /// reports non-convergence as [`StgError::NotConverged`] instead of
+    /// answering from a truncated set.
+    pub fn try_symbolic_usc_violation(
+        &self,
+        initial_code: u64,
+        config: &ReachabilityConfig,
+    ) -> Result<bool, StgError> {
+        let space = self.try_symbolic_encoded_state_space(initial_code, config)?;
         let states = space.state_count_f64();
         let (num_places, num_signals) = (space.num_places, space.num_signals);
         let place_vars: Vec<VarId> =
@@ -567,14 +695,35 @@ impl Stg {
         // the 2·(places + signals) manager variables is free.
         let free_vars = (2 * (num_places + num_signals) - num_signals) as i32;
         let distinct_codes = m.sat_count_f64(codes) / 2f64.powi(free_vars);
-        states > distinct_codes + 0.5
+        if let Some(trip) = m.take_budget_trip() {
+            return Err(StgError::Budget(trip));
+        }
+        Ok(states > distinct_codes + 0.5)
     }
 
     /// Returns `true` if the STG has a CSC conflict, determined symbolically:
     /// some code is shared by a state that enables a non-input signal and a
     /// state that does not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if reachability does not converge within the default iteration
+    /// cap; see [`Self::symbolic_usc_violation`].  Use
+    /// [`Self::try_symbolic_csc_violation`] for the typed diagnostic.
     pub fn symbolic_csc_violation(&self, initial_code: u64) -> bool {
-        let space = self.symbolic_encoded_state_space(initial_code, None);
+        self.try_symbolic_csc_violation(initial_code, &ReachabilityConfig::default())
+            .expect("reachability did not converge within the default iteration cap")
+    }
+
+    /// Fallible [`Self::symbolic_csc_violation`]: honours the budget and
+    /// reports non-convergence as [`StgError::NotConverged`] instead of
+    /// answering from a truncated set.
+    pub fn try_symbolic_csc_violation(
+        &self,
+        initial_code: u64,
+        config: &ReachabilityConfig,
+    ) -> Result<bool, StgError> {
+        let space = self.try_symbolic_encoded_state_space(initial_code, config)?;
         let num_places = space.num_places;
         let place_vars: Vec<VarId> =
             (0..num_places).map(|p| space.current_var_of_place(p)).collect();
@@ -595,11 +744,14 @@ impl Stg {
             let codes_with = m.exists_many(with, &place_vars);
             let codes_without = m.exists_many(without, &place_vars);
             let clash = m.and(codes_with, codes_without);
+            if let Some(trip) = m.take_budget_trip() {
+                return Err(StgError::Budget(trip));
+            }
             if !clash.is_false() {
-                return true;
+                return Ok(true);
             }
         }
-        false
+        Ok(false)
     }
 }
 
@@ -742,5 +894,49 @@ mod tests {
         let full = stg.symbolic_state_space(None);
         assert!(full.converged);
         assert!(full.iterations > space.iterations);
+    }
+
+    #[test]
+    fn try_reachability_reports_truncation_as_typed_error() {
+        use super::ReachabilityConfig;
+        use crate::StgError;
+        let stg = benchmarks::parallel_handshakes(4);
+        let config = ReachabilityConfig { max_iterations: Some(1), ..Default::default() };
+        match stg.try_symbolic_state_space(&config) {
+            Err(StgError::NotConverged { iterations }) => assert_eq!(iterations, 1),
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
+        // With the default cap the same net converges and returns Ok.
+        let space = stg.try_symbolic_state_space(&ReachabilityConfig::default()).unwrap();
+        assert!(space.converged);
+    }
+
+    #[test]
+    fn node_budget_interrupts_reachability() {
+        use super::ReachabilityConfig;
+        use crate::StgError;
+        use bdd::{Budget, Resource};
+        let stg = benchmarks::parallel_handshakes(8);
+        let budget = Budget::new(Some(512), None, None);
+        let config = ReachabilityConfig::with_budget(budget.clone());
+        match stg.try_symbolic_state_space(&config) {
+            Err(StgError::Budget(trip)) => {
+                assert_eq!(trip.resource, Resource::Nodes);
+                assert_eq!(trip.stage, "reachability");
+                assert!(trip.spent > trip.limit);
+            }
+            other => panic!("expected a budget trip, got {other:?}"),
+        }
+        assert!(budget.nodes_spent() > 512);
+    }
+
+    #[test]
+    fn budget_trip_surfaces_from_the_encoding_checks() {
+        use super::ReachabilityConfig;
+        use crate::StgError;
+        use bdd::Budget;
+        let stg = benchmarks::parallel_handshakes(8);
+        let config = ReachabilityConfig::with_budget(Budget::new(Some(512), None, None));
+        assert!(matches!(stg.try_symbolic_csc_violation(0, &config), Err(StgError::Budget(_))));
     }
 }

@@ -1,0 +1,441 @@
+//! Structural validation of STGs.
+//!
+//! [`validate`] inspects the net structure and the signal labelling of an
+//! [`Stg`] *before* any reachability analysis is attempted, and reports
+//! every problem it finds as a typed [`ValidationIssue`].  The checks are
+//! purely structural — linear in the size of the net — so they are cheap
+//! enough to run on every input, and they catch the malformed-specification
+//! classes that would otherwise surface deep inside the solvers as panics,
+//! empty fixpoints or non-safe firings:
+//!
+//! | check                        | severity | downstream failure avoided        |
+//! |------------------------------|----------|-----------------------------------|
+//! | source transition            | error    | unbounded firing, non-safe net    |
+//! | empty initial marking        | error    | empty reachable set / dead flow   |
+//! | dead initial marking         | error    | dead flow with tokens present     |
+//! | overmarked place pair        | error    | non-1-safe marking                |
+//! | isolated place               | warning  | silent no-op structure            |
+//! | sink transition              | warning  | token drain, eventual deadlock    |
+//! | unused signal                | warning  | spurious state variables          |
+//! | unbalanced signal            | warning  | likely inconsistent labelling     |
+//!
+//! Warnings describe nets the engines can still process; errors describe
+//! nets that cannot have a well-defined safe reachability graph, so the CLI
+//! refuses to start the flow on them.
+
+use crate::model::{Stg, TransitionLabel};
+use crate::signal::Polarity;
+use petri::TransId;
+use std::fmt;
+
+/// How serious a [`ValidationIssue`] is.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// The net is unusual but analysable.
+    Warning,
+    /// The net cannot have a well-defined safe reachability graph.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One structural problem found by [`validate`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ValidationIssue {
+    /// A transition with an empty pre-set: it is enabled in every marking,
+    /// so it can fire unboundedly and the net cannot be safe.
+    SourceTransition {
+        /// Name of the transition.
+        transition: String,
+    },
+    /// The initial marking carries no token at all, so no transition can
+    /// ever fire and the reachable set is the initial marking alone.
+    EmptyInitialMarking,
+    /// The initial marking has tokens but enables no transition.
+    DeadInitialMarking,
+    /// Two initially marked places feed the same transition's post-place,
+    /// i.e. the initial marking already over-marks a structural conflict —
+    /// firing the shared consumer would put a second token in its output.
+    ///
+    /// Detected conservatively: a place is over-marked when it is initially
+    /// marked *and* one of its producing transitions has all of its input
+    /// places initially marked as well.
+    OvermarkedPlace {
+        /// Name of the over-marked place.
+        place: String,
+        /// Name of the producing transition that is already enabled.
+        transition: String,
+    },
+    /// A place with no consuming and no producing transitions.
+    IsolatedPlace {
+        /// Name of the place.
+        place: String,
+    },
+    /// A transition with an empty post-set: every firing drains a token
+    /// from the net, so the net eventually deadlocks.
+    SinkTransition {
+        /// Name of the transition.
+        transition: String,
+    },
+    /// A declared signal that labels no transition.
+    UnusedSignal {
+        /// Name of the signal.
+        signal: String,
+    },
+    /// A signal whose rising and falling edge counts differ, which makes a
+    /// consistent binary interpretation of any firing cycle unlikely.
+    UnbalancedSignal {
+        /// Name of the signal.
+        signal: String,
+        /// Number of rising-edge transitions.
+        rising: usize,
+        /// Number of falling-edge transitions.
+        falling: usize,
+    },
+}
+
+impl ValidationIssue {
+    /// The severity class of this issue.
+    pub fn severity(&self) -> Severity {
+        match self {
+            ValidationIssue::SourceTransition { .. }
+            | ValidationIssue::EmptyInitialMarking
+            | ValidationIssue::DeadInitialMarking
+            | ValidationIssue::OvermarkedPlace { .. } => Severity::Error,
+            ValidationIssue::IsolatedPlace { .. }
+            | ValidationIssue::SinkTransition { .. }
+            | ValidationIssue::UnusedSignal { .. }
+            | ValidationIssue::UnbalancedSignal { .. } => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationIssue::SourceTransition { transition } => {
+                write!(f, "transition '{transition}' has no input place (fires unboundedly)")
+            }
+            ValidationIssue::EmptyInitialMarking => {
+                write!(f, "the initial marking carries no token")
+            }
+            ValidationIssue::DeadInitialMarking => {
+                write!(f, "the initial marking enables no transition")
+            }
+            ValidationIssue::OvermarkedPlace { place, transition } => {
+                write!(
+                    f,
+                    "place '{place}' is marked while its producer '{transition}' is already \
+                     enabled (firing it would break 1-safeness)"
+                )
+            }
+            ValidationIssue::IsolatedPlace { place } => {
+                write!(f, "place '{place}' is connected to no transition")
+            }
+            ValidationIssue::SinkTransition { transition } => {
+                write!(f, "transition '{transition}' has no output place (drains tokens)")
+            }
+            ValidationIssue::UnusedSignal { signal } => {
+                write!(f, "signal '{signal}' labels no transition")
+            }
+            ValidationIssue::UnbalancedSignal { signal, rising, falling } => {
+                write!(
+                    f,
+                    "signal '{signal}' has {rising} rising but {falling} falling edges \
+                     (labelling is likely inconsistent)"
+                )
+            }
+        }
+    }
+}
+
+/// The outcome of [`validate`]: every issue found, in deterministic order
+/// (errors and warnings interleaved in discovery order).
+#[derive(Clone, Debug, Default)]
+pub struct ValidationReport {
+    issues: Vec<ValidationIssue>,
+}
+
+impl ValidationReport {
+    /// All issues, in discovery order.
+    pub fn issues(&self) -> &[ValidationIssue] {
+        &self.issues
+    }
+
+    /// `true` when no issue at all was found.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// `true` when at least one [`Severity::Error`] issue was found.
+    pub fn has_errors(&self) -> bool {
+        self.issues.iter().any(|i| i.severity() == Severity::Error)
+    }
+
+    /// The error-severity issues only.
+    pub fn errors(&self) -> impl Iterator<Item = &ValidationIssue> {
+        self.issues.iter().filter(|i| i.severity() == Severity::Error)
+    }
+
+    /// The warning-severity issues only.
+    pub fn warnings(&self) -> impl Iterator<Item = &ValidationIssue> {
+        self.issues.iter().filter(|i| i.severity() == Severity::Warning)
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for issue in &self.issues {
+            writeln!(f, "{}: {issue}", issue.severity())?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs every structural check on `stg` and collects the findings.
+///
+/// # Example
+///
+/// ```
+/// use stg::{validate, benchmarks};
+///
+/// let report = validate(&benchmarks::vme_read());
+/// assert!(report.is_clean());
+/// ```
+pub fn validate(stg: &Stg) -> ValidationReport {
+    let net = stg.net();
+    let mut issues = Vec::new();
+
+    for t in 0..net.num_transitions() {
+        let t = TransId::from(t);
+        if net.preset(t).is_empty() {
+            issues.push(ValidationIssue::SourceTransition {
+                transition: net.transition_name(t).to_owned(),
+            });
+        }
+        if net.postset(t).is_empty() {
+            issues.push(ValidationIssue::SinkTransition {
+                transition: net.transition_name(t).to_owned(),
+            });
+        }
+    }
+
+    let initial = net.initial_marking();
+    if initial.token_count() == 0 {
+        issues.push(ValidationIssue::EmptyInitialMarking);
+    } else if net.enabled_transitions(initial).is_empty() {
+        issues.push(ValidationIssue::DeadInitialMarking);
+    }
+
+    for p in 0..net.num_places() {
+        let p = petri::PlaceId::from(p);
+        if net.place_postset(p).is_empty() && net.place_preset(p).is_empty() {
+            issues.push(ValidationIssue::IsolatedPlace { place: net.place_name(p).to_owned() });
+        }
+        if initial.is_marked(p) {
+            // A marked place whose producer is already enabled breaks
+            // 1-safeness on the very first firing.
+            if let Some(&t) = net
+                .place_preset(p)
+                .iter()
+                .find(|&&t| net.is_enabled(initial, t) && !net.preset(t).contains(&p))
+            {
+                issues.push(ValidationIssue::OvermarkedPlace {
+                    place: net.place_name(p).to_owned(),
+                    transition: net.transition_name(t).to_owned(),
+                });
+            }
+        }
+    }
+
+    let mut rising = vec![0usize; stg.num_signals()];
+    let mut falling = vec![0usize; stg.num_signals()];
+    for label in stg.labels() {
+        if let TransitionLabel::Edge { signal, polarity } = label {
+            match polarity {
+                Polarity::Rise => rising[signal.index()] += 1,
+                Polarity::Fall => falling[signal.index()] += 1,
+                // A toggle edge flips the signal either way, so it neither
+                // uses up a rise nor a fall; it still marks the signal used.
+                Polarity::Toggle => {
+                    rising[signal.index()] += 1;
+                    falling[signal.index()] += 1;
+                }
+            }
+        }
+    }
+    for (i, signal) in stg.signals().iter().enumerate() {
+        if rising[i] == 0 && falling[i] == 0 {
+            issues.push(ValidationIssue::UnusedSignal { signal: signal.name.clone() });
+        } else if rising[i] != falling[i] {
+            issues.push(ValidationIssue::UnbalancedSignal {
+                signal: signal.name.clone(),
+                rising: rising[i],
+                falling: falling[i],
+            });
+        }
+    }
+
+    ValidationReport { issues }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+    use crate::model::StgBuilder;
+    use crate::signal::SignalKind;
+
+    #[test]
+    fn the_benchmarks_validate_cleanly() {
+        for model in [
+            benchmarks::vme_read(),
+            benchmarks::handshake(),
+            benchmarks::pulser(),
+            benchmarks::wide_conflict(4),
+            benchmarks::parallel_handshakes(3),
+        ] {
+            let report = validate(&model);
+            assert!(report.is_clean(), "{}: {report}", model.name());
+        }
+    }
+
+    #[test]
+    fn a_source_transition_is_an_error() {
+        let mut b = StgBuilder::new("source");
+        let a = b.add_signal("a", SignalKind::Output);
+        let up = b.add_edge(a, Polarity::Rise);
+        let dn = b.add_edge(a, Polarity::Fall);
+        // `up` gets an output place but no input place.
+        b.connect(up, dn, false);
+        b.add_place("seed", true);
+        let stg = b.build().unwrap();
+        let report = validate(&stg);
+        assert!(report.has_errors());
+        assert!(report.errors().any(
+            |i| matches!(i, ValidationIssue::SourceTransition { transition } if transition == "a+")
+        ));
+        // `dn` never produces: flagged as a warning, not an error.
+        assert!(report.warnings().any(
+            |i| matches!(i, ValidationIssue::SinkTransition { transition } if transition == "a-")
+        ));
+    }
+
+    #[test]
+    fn empty_and_dead_markings_are_errors() {
+        let mut b = StgBuilder::new("empty");
+        let a = b.add_signal("a", SignalKind::Input);
+        let up = b.add_edge(a, Polarity::Rise);
+        let dn = b.add_edge(a, Polarity::Fall);
+        b.connect(up, dn, false);
+        b.connect(dn, up, false); // cycle, but no token anywhere
+        let stg = b.build().unwrap();
+        let report = validate(&stg);
+        assert!(report.issues().contains(&ValidationIssue::EmptyInitialMarking));
+
+        let mut b = StgBuilder::new("dead");
+        let a = b.add_signal("a", SignalKind::Input);
+        let up = b.add_edge(a, Polarity::Rise);
+        let dn = b.add_edge(a, Polarity::Fall);
+        b.connect(up, dn, true); // token *between* up and dn …
+        b.connect(dn, up, false);
+        let p = b.add_place("stray", true);
+        let _ = p; // … plus a stray token nowhere useful
+                   // `dn` needs both its input places; only one exists, so it is
+                   // enabled — make it need the stray's sibling instead:
+        let stg = b.build().unwrap();
+        // Here dn *is* enabled, so this net is fine; build a genuinely dead
+        // one: a single transition whose only input place is unmarked, with
+        // the token parked on an output-only place.
+        let report = validate(&stg);
+        assert!(!report.issues().contains(&ValidationIssue::DeadInitialMarking));
+
+        let mut b = StgBuilder::new("dead2");
+        let a = b.add_signal("a", SignalKind::Input);
+        let up = b.add_edge(a, Polarity::Rise);
+        let dn = b.add_edge(a, Polarity::Fall);
+        b.connect(up, dn, false);
+        let parked = b.add_place("parked", true);
+        b.arc_transition_to_place(dn, parked);
+        b.arc_place_to_transition(parked, up);
+        let pre = b.add_place("gate", false);
+        b.arc_place_to_transition(pre, up);
+        b.arc_transition_to_place(dn, pre);
+        let stg = b.build().unwrap();
+        let report = validate(&stg);
+        assert!(report.issues().contains(&ValidationIssue::DeadInitialMarking));
+    }
+
+    #[test]
+    fn overmarked_conflicts_are_detected() {
+        let mut b = StgBuilder::new("overmarked");
+        let a = b.add_signal("a", SignalKind::Output);
+        let up = b.add_edge(a, Polarity::Rise);
+        let dn = b.add_edge(a, Polarity::Fall);
+        let p_in = b.add_place("in", true);
+        let p_mid = b.add_place("mid", true); // already marked *and* up is enabled
+        b.arc_place_to_transition(p_in, up);
+        b.arc_transition_to_place(up, p_mid);
+        b.arc_place_to_transition(p_mid, dn);
+        b.arc_transition_to_place(dn, p_in);
+        let stg = b.build().unwrap();
+        let report = validate(&stg);
+        assert!(report.errors().any(
+            |i| matches!(i, ValidationIssue::OvermarkedPlace { place, .. } if place == "mid")
+        ));
+    }
+
+    #[test]
+    fn signal_labelling_warnings() {
+        let mut b = StgBuilder::new("labels");
+        let a = b.add_signal("a", SignalKind::Output);
+        let _ghost = b.add_signal("ghost", SignalKind::Input);
+        let up = b.add_edge(a, Polarity::Rise);
+        let up2 = b.add_edge(a, Polarity::Rise);
+        let dn = b.add_edge(a, Polarity::Fall);
+        b.connect_cycle(&[up, dn, up2]);
+        let stg = b.build().unwrap();
+        let report = validate(&stg);
+        assert!(!report.has_errors());
+        assert!(report
+            .warnings()
+            .any(|i| matches!(i, ValidationIssue::UnusedSignal { signal } if signal == "ghost")));
+        assert!(report.warnings().any(|i| matches!(
+            i,
+            ValidationIssue::UnbalancedSignal { signal, rising: 2, falling: 1 } if signal == "a"
+        )));
+    }
+
+    #[test]
+    fn isolated_places_are_warnings() {
+        let mut b = StgBuilder::new("isolated");
+        let a = b.add_signal("a", SignalKind::Input);
+        let up = b.add_edge(a, Polarity::Rise);
+        let dn = b.add_edge(a, Polarity::Fall);
+        b.connect_cycle(&[up, dn]);
+        b.add_place("floating", false);
+        let stg = b.build().unwrap();
+        let report = validate(&stg);
+        assert!(!report.has_errors());
+        assert!(report
+            .warnings()
+            .any(|i| matches!(i, ValidationIssue::IsolatedPlace { place } if place == "floating")));
+    }
+
+    #[test]
+    fn severities_and_display_render() {
+        assert!(Severity::Error > Severity::Warning);
+        let issue = ValidationIssue::UnbalancedSignal { signal: "x".into(), rising: 3, falling: 1 };
+        assert_eq!(issue.severity(), Severity::Warning);
+        let text = issue.to_string();
+        assert!(text.contains('x') && text.contains('3') && text.contains('1'));
+    }
+}
