@@ -37,8 +37,8 @@ use csc::{
     SolverConfig, SolverStrategy, StageStats, SymbolicSolution,
 };
 use logic::{
-    analyze_stg_with, area_of_functions, estimate_area_with, LogicDiagnostic, LogicError,
-    LogicStrategy, SymbolicLogicReport,
+    analyze_stg_with, area_of_functions, LogicDiagnostic, LogicError, LogicStrategy,
+    SymbolicLogicReport,
 };
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -86,6 +86,11 @@ pub struct FlowOptions {
     /// Refuse to descend the fallback ladder: the first budget trip or
     /// non-convergence returns its typed error instead of degrading.
     pub no_fallback: bool,
+    /// Verify the emitted gate netlist against the source STG (symbolic
+    /// speed-independence and projection trace equivalence).  The check
+    /// shares the flow's [`Budget`]; a tripped ceiling aborts the
+    /// verification with a typed verdict instead of failing the flow.
+    pub verify_netlist: bool,
 }
 
 impl Default for FlowOptions {
@@ -101,6 +106,7 @@ impl Default for FlowOptions {
             step_budget: None,
             timeout_ms: None,
             no_fallback: false,
+            verify_netlist: false,
         }
     }
 }
@@ -185,6 +191,52 @@ impl fmt::Display for DegradationEvent {
     }
 }
 
+/// The gate-level back-end's contribution to a [`FlowReport`]: the
+/// synthesized circuit, its size, and the closed-loop verification verdict.
+#[derive(Clone, Debug)]
+pub struct NetlistStage {
+    /// The synthesized circuit (emit it with [`netlist::Netlist::to_eqn`]
+    /// or [`netlist::Netlist::to_verilog`]).
+    pub circuit: netlist::Netlist,
+    /// Number of gates (one per non-input signal).
+    pub gates: usize,
+    /// Number of generalized C-elements among the gates.
+    pub c_elements: usize,
+    /// Total literal count over all gate covers.
+    pub literals: usize,
+    /// Wall-clock milliseconds spent synthesizing and splitting covers.
+    pub build_ms: f64,
+    /// Wall-clock milliseconds spent verifying (0 when not requested).
+    pub verify_ms: f64,
+    /// The closed-loop verification verdict.
+    pub verdict: NetlistVerdict,
+}
+
+/// Outcome of verifying the emitted netlist against the source STG.
+#[derive(Clone, Debug)]
+pub enum NetlistVerdict {
+    /// Verification was not requested ([`FlowOptions::verify_netlist`] off).
+    NotRequested,
+    /// The netlist is speed-independent and trace-equivalent to the STG.
+    Verified {
+        /// Reachable (marking, code) pairs the check explored, as a float.
+        states_f64: f64,
+    },
+    /// The netlist violates speed independence or diverges from the STG;
+    /// every finding carries a witness.
+    Failed {
+        /// The typed, witness-carrying findings.
+        diagnostics: Vec<netlist::NetlistDiagnostic>,
+    },
+    /// Verification could not run to completion (budget trip, truncated
+    /// fixpoint, or no encoded STG to verify against) — a typed outcome,
+    /// never a panic.
+    Aborted {
+        /// Why the check stopped.
+        reason: String,
+    },
+}
+
 /// Everything the flow measured for one model.
 #[derive(Clone, Debug)]
 pub struct FlowReport {
@@ -241,6 +293,10 @@ pub struct FlowReport {
     /// Every ladder descent the run took, in order (empty for ungoverned
     /// runs that never degraded).
     pub degradations: Vec<DegradationEvent>,
+    /// The gate-level back-end stage: the synthesized netlist and its
+    /// verification verdict (`None` when no logic was derived, e.g. under
+    /// `--no-area` or on a partial report).
+    pub netlist: Option<NetlistStage>,
 }
 
 impl fmt::Display for FlowReport {
@@ -293,6 +349,31 @@ impl fmt::Display for FlowReport {
         )?;
         for diagnostic in &self.logic_diagnostics {
             writeln!(f, "  !! {diagnostic}")?;
+        }
+        if let Some(stage) = &self.netlist {
+            writeln!(
+                f,
+                "netlist     : {} gates ({} C-elements), {} literals",
+                stage.gates, stage.c_elements, stage.literals
+            )?;
+            match &stage.verdict {
+                NetlistVerdict::NotRequested => {}
+                NetlistVerdict::Verified { states_f64 } => {
+                    writeln!(
+                        f,
+                        "netlist chk : speed-independent, trace-equivalent ({states_f64:.0} states)"
+                    )?;
+                }
+                NetlistVerdict::Failed { diagnostics } => {
+                    writeln!(f, "netlist chk : FAILED ({} finding(s))", diagnostics.len())?;
+                    for diagnostic in diagnostics {
+                        writeln!(f, "  !! {diagnostic}")?;
+                    }
+                }
+                NetlistVerdict::Aborted { reason } => {
+                    writeln!(f, "netlist chk : aborted — {reason}")?;
+                }
+            }
         }
         writeln!(
             f,
@@ -350,6 +431,15 @@ pub fn render_stage_table(report: &FlowReport) -> String {
     }
     if let Some(nodes) = report.logic_bdd_nodes {
         out.push_str(&format!("{:<22} {:>12}\n", "logic bdd nodes", nodes));
+    }
+    if let Some(stage) = &report.netlist {
+        out.push_str(&format!("{:<22} {:>12}\n", "netlist gates", stage.gates));
+        out.push_str(&format!("{:<22} {:>12}\n", "netlist c-elements", stage.c_elements));
+        out.push_str(&format!("{:<22} {:>12}\n", "netlist literals", stage.literals));
+        out.push_str(&format!("{:<22} {:>9.2} ms\n", "netlist build", stage.build_ms));
+        if !matches!(stage.verdict, NetlistVerdict::NotRequested) {
+            out.push_str(&format!("{:<22} {:>9.2} ms\n", "netlist verify", stage.verify_ms));
+        }
     }
     out
 }
@@ -538,9 +628,9 @@ fn symbolic_rung(
     diagnosis: &mut Vec<LogicDiagnostic>,
 ) -> RungAttempt {
     match analyze_stg_with(model, options.initial_code, reach) {
-        Ok(analysis) => {
-            RungAttempt::Done(Box::new(symbolic_report(model, options, &analysis, None, start)))
-        }
+        Ok(analysis) => RungAttempt::Done(Box::new(symbolic_report(
+            model, options, &analysis, None, reach, start,
+        ))),
         Err(LogicError::Budget(trip)) => RungAttempt::Degrade(RungFailure::budget(trip)),
         Err(LogicError::ReachabilityNotConverged { iterations }) => {
             RungAttempt::Degrade(RungFailure::not_converged(iterations))
@@ -563,6 +653,7 @@ fn symbolic_rung(
                                 options,
                                 &analysis,
                                 Some(&solution),
+                                reach,
                                 start,
                             )))
                         }
@@ -590,6 +681,54 @@ fn symbolic_rung(
     }
 }
 
+/// Synthesizes the gate netlist from derived functions and — when
+/// requested and an encoded STG is available — closes the loop by
+/// verifying the circuit against it under the flow's budget.
+fn build_netlist_stage(
+    name: &str,
+    signals: &[(String, bool)],
+    functions: &logic::NextStateFunctions,
+    verify_against: Option<(&Stg, u64)>,
+    verify_requested: bool,
+    reach: &ReachabilityConfig,
+) -> Option<NetlistStage> {
+    let build_start = Instant::now();
+    // The functions were derived from the same signal space, so synthesis
+    // cannot fail; a typed error here still degrades to "no netlist stage"
+    // rather than failing the flow.
+    let circuit = netlist::synthesize_named(name, signals, functions).ok()?;
+    let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+    let gates = circuit.gates.len();
+    let c_elements = circuit.c_elements();
+    let literals = circuit.literals();
+    let mut verify_ms = 0.0;
+    let verdict = if !verify_requested {
+        NetlistVerdict::NotRequested
+    } else {
+        match verify_against {
+            None => {
+                NetlistVerdict::Aborted { reason: "no encoded STG to verify against".to_owned() }
+            }
+            Some((stg, initial_code)) => {
+                let verify_start = Instant::now();
+                let outcome = netlist::verify(stg, &circuit, initial_code, reach);
+                verify_ms = verify_start.elapsed().as_secs_f64() * 1e3;
+                match outcome {
+                    Ok(v) if v.passed() => NetlistVerdict::Verified { states_f64: v.states_f64 },
+                    Ok(v) => NetlistVerdict::Failed { diagnostics: v.diagnostics },
+                    Err(e) => NetlistVerdict::Aborted { reason: e.to_string() },
+                }
+            }
+        }
+    };
+    Some(NetlistStage { circuit, gates, c_elements, literals, build_ms, verify_ms, verdict })
+}
+
+/// Signal descriptors `(name, is_input)` of an STG, for netlist synthesis.
+fn signal_descriptors(stg: &Stg) -> Vec<(String, bool)> {
+    stg.signals().iter().map(|s| (s.name.clone(), !s.kind.is_non_input())).collect()
+}
+
 /// Builds the report of a successful symbolic rung.  With `solution`, the
 /// analysis describes the solver's encoded output STG; without it, the
 /// input already satisfied CSC.
@@ -598,6 +737,7 @@ fn symbolic_report(
     options: &FlowOptions,
     analysis: &SymbolicLogicReport,
     solution: Option<&SymbolicSolution>,
+    reach: &ReachabilityConfig,
     start: Instant,
 ) -> FlowReport {
     let (places, transitions, signals) = model.stats();
@@ -610,6 +750,19 @@ fn symbolic_report(
             solution.stats.initial_conflicts,
         ),
         None => (final_states, analysis.markings, 0),
+    };
+    let netlist = if options.estimate_area {
+        let encoded: &Stg = solution.map_or(model, |s| &s.stg);
+        build_netlist_stage(
+            encoded.name(),
+            &signal_descriptors(encoded),
+            &analysis.functions,
+            Some((encoded, options.initial_code)),
+            options.verify_netlist,
+            reach,
+        )
+    } else {
+        None
     };
     FlowReport {
         name: model.name().to_owned(),
@@ -641,6 +794,7 @@ fn symbolic_report(
         jobs: solution.map_or_else(|| options.solver.effective_jobs(), |s| s.stats.jobs),
         rung: FlowRung::Symbolic,
         degradations: Vec::new(),
+        netlist,
     }
 }
 
@@ -667,13 +821,36 @@ fn explicit_pipeline(
     let solution: CscSolution = csc::solve_state_graph(&sg, &config)?;
 
     let mut logic_diagnostics = logic::output_persistency_violations(&solution.graph);
+    let mut netlist = None;
     let (literals, cubes, logic_bdd_nodes) = if options.estimate_area {
-        match estimate_area_with(&solution.graph, options.logic) {
-            Ok(area) => (
-                Some(area.total_literals),
-                Some(area.total_cubes),
-                (options.logic == LogicStrategy::Symbolic).then_some(area.bdd_nodes),
-            ),
+        match logic::derive_next_state_functions_with(&solution.graph, options.logic) {
+            Ok(functions) => {
+                let area = area_of_functions(&functions);
+                let signals: Vec<(String, bool)> = solution
+                    .graph
+                    .signals
+                    .iter()
+                    .map(|s| (s.name.clone(), !s.kind.is_non_input()))
+                    .collect();
+                // The re-synthesized STG shares the graph's signal order, so
+                // the graph's initial code seeds the verification correctly.
+                let initial_code = solution.graph.code(solution.graph.ts.initial());
+                let reach =
+                    ReachabilityConfig { budget: budget.cloned(), ..ReachabilityConfig::default() };
+                netlist = build_netlist_stage(
+                    model.name(),
+                    &signals,
+                    &functions,
+                    solution.stg.as_ref().map(|stg| (stg, initial_code)),
+                    options.verify_netlist,
+                    &reach,
+                );
+                (
+                    Some(area.total_literals),
+                    Some(area.total_cubes),
+                    (options.logic == LogicStrategy::Symbolic).then_some(area.bdd_nodes),
+                )
+            }
             Err(error) => {
                 logic_diagnostics.push(LogicDiagnostic::from(&error));
                 (None, None, None)
@@ -708,6 +885,7 @@ fn explicit_pipeline(
         jobs: solution.stats.jobs,
         rung: FlowRung::Explicit,
         degradations: Vec::new(),
+        netlist,
     })
 }
 
@@ -744,6 +922,7 @@ fn partial_report(
         jobs: options.solver.effective_jobs(),
         rung: FlowRung::PartialReport,
         degradations,
+        netlist: None,
     }
 }
 

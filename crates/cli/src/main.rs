@@ -57,6 +57,13 @@ resources:
                             descending the degradation ladder
 
 output:
+  --emit eqn|verilog        print the synthesized gate netlist (complex
+                            gates and generalized C-elements) after the
+                            report, as Berkeley .eqn equations or
+                            structural Verilog
+  --verify-netlist          symbolically verify the emitted netlist against
+                            the encoded STG: speed independence and
+                            projection-trace equivalence, budget-governed
   --write-g <path>          write the encoded STG back in .g format
   --help, -h                show this help"
     );
@@ -68,7 +75,15 @@ fn builtin(name: &str) -> Option<stg::Stg> {
         "pulser" => Some(stg::benchmarks::pulser()),
         "vme_read" => Some(stg::benchmarks::vme_read()),
         "master_read_like" => Some(stg::benchmarks::master_read_like()),
+        "arbiter" => Some(stg::benchmarks::arbiter()),
+        "mixed_handshake" => Some(stg::benchmarks::mixed_handshake()),
         _ => {
+            if let Some(n) = name.strip_prefix("pipe4_") {
+                return n.parse().ok().map(stg::benchmarks::pipeline_4ph);
+            }
+            if let Some(n) = name.strip_prefix("pipe2_") {
+                return n.parse().ok().map(stg::benchmarks::pipeline_2ph);
+            }
             if let Some(n) = name.strip_prefix("seq") {
                 return n.parse().ok().map(stg::benchmarks::sequencer);
             }
@@ -92,12 +107,19 @@ fn builtin(name: &str) -> Option<stg::Stg> {
     }
 }
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum EmitFormat {
+    Eqn,
+    Verilog,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut input_path: Option<String> = None;
     let mut benchmark: Option<String> = None;
     let mut options = FlowOptions::default();
     let mut write_g: Option<String> = None;
+    let mut emit: Option<EmitFormat> = None;
     let mut explicit_logic = false;
     let mut symbolic_solver = false;
     let mut index = 0;
@@ -112,9 +134,13 @@ fn main() -> ExitCode {
                 for (name, _, _) in stg::benchmarks::table2_suite() {
                     println!("  {name}");
                 }
+                println!("gate-level corpus:");
+                for (name, _, _) in stg::benchmarks::corpus_suite() {
+                    println!("  {name}");
+                }
                 println!(
-                    "  parN, par_hsN, seqN, counterN, pulser_bankN, wide_conflictN \
-                     (parameterised)"
+                    "  parN, par_hsN, seqN, counterN, pulser_bankN, wide_conflictN, \
+                     pipe4_N, pipe2_N (parameterised)"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -190,6 +216,18 @@ fn main() -> ExitCode {
                 }
             }
             "--no-fallback" => options.no_fallback = true,
+            "--verify-netlist" => options.verify_netlist = true,
+            "--emit" => {
+                index += 1;
+                match args.get(index).map(String::as_str) {
+                    Some("eqn") => emit = Some(EmitFormat::Eqn),
+                    Some("verilog") => emit = Some(EmitFormat::Verilog),
+                    _ => {
+                        eprintln!("--emit needs 'eqn' or 'verilog'");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--benchmark" => {
                 index += 1;
                 benchmark = args.get(index).cloned();
@@ -262,6 +300,21 @@ fn main() -> ExitCode {
         Ok(report) => {
             println!("{report}");
             println!("\n{}", render_stage_table(&report));
+            if let Some(format) = emit {
+                match &report.netlist {
+                    Some(stage) => {
+                        let text = match format {
+                            EmitFormat::Eqn => stage.circuit.to_eqn(),
+                            EmitFormat::Verilog => stage.circuit.to_verilog(),
+                        };
+                        println!("\n{text}");
+                    }
+                    None => eprintln!(
+                        "no netlist was synthesized (area estimation disabled or \
+                         logic derivation failed); nothing to emit"
+                    ),
+                }
+            }
             if let Some(path) = write_g {
                 // Re-solve keeping the STG so we can serialise it.  The
                 // symbolic solver's output *is* an STG; the explicit

@@ -111,6 +111,72 @@ fn governed_flows_never_panic_overrun_or_descend_non_monotonically() {
 }
 
 #[test]
+fn fuzzed_netlists_emit_round_trip_and_agree_with_the_cover_level_verdict() {
+    let config = stg::ReachabilityConfig::default();
+    for seed in 0..seed_count(500) {
+        let model = random_stg(seed);
+        let csc_violated = model.symbolic_csc_violation(0);
+        // Cover-level agreement, direction one: the derivation succeeds
+        // exactly when the covers satisfy ON ∧ OFF = ∅ over the reachable
+        // codes — i.e. when the cover-level CSC check passes.
+        let analysis = logic::analyze_stg(&model, 0, None);
+        let analysis = match analysis {
+            Ok(analysis) => {
+                assert!(!csc_violated, "seed {seed}: covers derived despite a CSC violation");
+                analysis
+            }
+            Err(error) => {
+                assert!(
+                    csc_violated,
+                    "seed {seed}: derivation failed on a CSC-clean model: {error}"
+                );
+                continue;
+            }
+        };
+        // Every CSC-free fuzzed STG goes through synthesis, both emission
+        // formats, re-parsing, and the closed-loop verifier — none of
+        // which may panic.
+        let checked = catch_unwind(AssertUnwindSafe(|| {
+            let circuit = netlist::synthesize(&model, &analysis.functions)
+                .unwrap_or_else(|e| panic!("seed {seed}: synthesis failed: {e}"));
+            let eqn = circuit.to_eqn();
+            let _verilog = circuit.to_verilog();
+            let reparsed = netlist::parse_eqn(&eqn)
+                .unwrap_or_else(|e| panic!("seed {seed}: emitted .eqn must re-parse: {e}"));
+            assert!(
+                netlist::equivalent(&circuit, &reparsed).expect("equivalence check runs"),
+                "seed {seed}: .eqn round-trip changed the circuit"
+            );
+            netlist::verify(&model, &circuit, 0, &config)
+                .unwrap_or_else(|e| panic!("seed {seed}: verification errored: {e}"))
+        }));
+        let verification =
+            checked.unwrap_or_else(|_| panic!("seed {seed}: the netlist back-end panicked"));
+        // Exact covers on a CSC-clean model always reproduce the STG's
+        // excitations state by state.
+        assert!(verification.trace_equivalent, "seed {seed}: netlist diverges from the STG");
+        // Speed-independence agreement with the cover-level persistency
+        // check is one-directional: a gate-level hazard implies a cover
+        // diagnostic (the converse can fail on same-signal co-enabled
+        // transitions, which the gate model merges into one excitation).
+        if !verification.speed_independent {
+            assert!(
+                !analysis.diagnostics.is_empty(),
+                "seed {seed}: gate-level hazard without a cover-level diagnostic: {:?}",
+                verification.diagnostics
+            );
+        }
+        if analysis.diagnostics.is_empty() {
+            assert!(
+                verification.speed_independent,
+                "seed {seed}: clean covers but the netlist check failed: {:?}",
+                verification.diagnostics
+            );
+        }
+    }
+}
+
+#[test]
 fn mutated_g_text_never_panics_the_parser_or_the_flow() {
     for seed in 0..seed_count(500) {
         let base = random_stg(seed % 16).to_g();

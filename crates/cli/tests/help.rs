@@ -47,6 +47,13 @@ resources:
                             descending the degradation ladder
 
 output:
+  --emit eqn|verilog        print the synthesized gate netlist (complex
+                            gates and generalized C-elements) after the
+                            report, as Berkeley .eqn equations or
+                            structural Verilog
+  --verify-netlist          symbolically verify the emitted netlist against
+                            the encoded STG: speed independence and
+                            projection-trace equivalence, budget-governed
   --write-g <path>          write the encoded STG back in .g format
   --help, -h                show this help
 ";
@@ -78,6 +85,8 @@ fn every_parsed_flag_is_documented() {
         "--node-budget",
         "--timeout-ms",
         "--no-fallback",
+        "--emit",
+        "--verify-netlist",
         "--write-g",
         "--help",
     ] {
@@ -135,6 +144,28 @@ fn structurally_broken_inputs_are_rejected_before_the_flow() {
     let text = String::from_utf8(out.stderr).unwrap();
     assert!(text.contains("failed structural validation"), "{text}");
     assert!(text.contains("no token"), "{text}");
+}
+
+#[test]
+fn emit_and_verify_flags_drive_the_gate_level_back_end() {
+    let out = rsynth(&["--benchmark", "vme_read", "--emit", "eqn", "--verify-netlist"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("netlist chk : speed-independent, trace-equivalent"), "{text}");
+    assert!(text.contains(".model vme_read"), "{text}");
+    assert!(text.contains("= C("), "expected a generalized C-element in {text}");
+    let out = rsynth(&["--benchmark", "pipe2_2", "--emit", "verilog"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("module pipe2_2"), "{text}");
+    assert!(text.contains("gc_element"), "{text}");
+    // Nothing to emit without the logic stage; the report still succeeds.
+    let out = rsynth(&["--benchmark", "handshake", "--emit", "eqn", "--no-area"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stderr).unwrap();
+    assert!(text.contains("nothing to emit"), "{text}");
+    // Malformed formats are rejected up front.
+    assert!(!rsynth(&["--benchmark", "handshake", "--emit", "blif"]).status.success());
 }
 
 #[test]

@@ -291,6 +291,125 @@ pub fn master_read_like() -> Stg {
     b.build().expect("master_read_like is well-formed")
 }
 
+/// A two-way mutual-exclusion arbiter: requests `r1`/`r2` compete for a
+/// shared mutex place, grants `g1`/`g2` are mutually exclusive.
+///
+/// CSC holds (the mutex token position is visible as `¬g1 ∧ ¬g2`), but the
+/// circuit is *not* speed independent: with both requests pending and the
+/// mutex free, `g1+` and `g2+` are both excited and firing one disables the
+/// other.  No pure gate netlist implements this — arbitration needs a
+/// metastability-resolving mutex primitive — so the model is the canonical
+/// witness that gate-level verification must check output persistency, not
+/// just CSC.
+pub fn arbiter() -> Stg {
+    let mut b = StgBuilder::new("arbiter");
+    let mutex = b.add_place("mutex", true);
+    for i in 1..=2u32 {
+        let r = b.add_input(format!("r{i}"));
+        let g = b.add_output(format!("g{i}"));
+        let rp = b.add_edge(r, Polarity::Rise);
+        let gp = b.add_edge(g, Polarity::Rise);
+        let rm = b.add_edge(r, Polarity::Fall);
+        let gm = b.add_edge(g, Polarity::Fall);
+        b.connect_cycle(&[rp, gp, rm, gm]);
+        // The grant takes the mutex token and the release returns it.
+        b.arc_place_to_transition(mutex, gp);
+        b.arc_transition_to_place(gm, mutex);
+    }
+    b.build().expect("arbiter is well-formed")
+}
+
+/// An `n`-stage four-phase half-buffer pipeline controller.
+///
+/// Stage `i` handshakes on `(r_i, a_i)`; `r_0` is the environment request
+/// `rin` and every other signal is a controller output.  The ack `a_i`
+/// propagates the request forward (`a_i+ → r_{i+1}+`) and may only be
+/// withdrawn once the next stage has acknowledged (`a_{i+1}+ → a_i-`), the
+/// standard half-buffer backpressure.  The net is a live, safe marked
+/// graph.
+pub fn pipeline_4ph(n: usize) -> Stg {
+    assert!(n >= 1, "pipeline needs at least one stage");
+    let mut b = StgBuilder::new(format!("pipe4_{n}"));
+    let mut rp = Vec::new();
+    let mut ap = Vec::new();
+    let mut rm = Vec::new();
+    let mut am = Vec::new();
+    for i in 0..n {
+        let r = if i == 0 { b.add_input("rin") } else { b.add_output(format!("r{i}")) };
+        let a = b.add_output(format!("a{i}"));
+        rp.push(b.add_edge(r, Polarity::Rise));
+        ap.push(b.add_edge(a, Polarity::Rise));
+        rm.push(b.add_edge(r, Polarity::Fall));
+        am.push(b.add_edge(a, Polarity::Fall));
+    }
+    for i in 0..n {
+        b.connect_cycle(&[rp[i], ap[i], rm[i], am[i]]);
+        if i + 1 < n {
+            b.connect(ap[i], rp[i + 1], false);
+            b.connect(ap[i + 1], am[i], false);
+        }
+    }
+    b.build().expect("pipeline_4ph is well-formed")
+}
+
+/// An `n`-stage two-phase (transition-signalling) micropipeline: every
+/// event of `x0 … xn` is one datum, `x0` driven by the environment.
+///
+/// Each rise wave and fall wave ripples forward (`x_i* → x_{i+1}*`), and a
+/// stage accepts its next event only after its successor has consumed the
+/// previous one (the marked `x_{i+1}* → x_i*'` backpressure places), so
+/// stage `i` holds a datum exactly when `x_i ≠ x_{i+1}` — the
+/// Muller-pipeline occupancy rule.  The net is a live, safe marked graph
+/// and persistent, so the derived netlist is a speed-independent C-element
+/// chain.
+pub fn pipeline_2ph(n: usize) -> Stg {
+    assert!(n >= 1, "pipeline needs at least one stage");
+    let mut b = StgBuilder::new(format!("pipe2_{n}"));
+    let mut up = Vec::new();
+    let mut dn = Vec::new();
+    for i in 0..=n {
+        let s = if i == 0 { b.add_input("x0") } else { b.add_output(format!("x{i}")) };
+        up.push(b.add_edge(s, Polarity::Rise));
+        dn.push(b.add_edge(s, Polarity::Fall));
+    }
+    for i in 0..n {
+        // Waves ripple forward …
+        b.connect(up[i], up[i + 1], false);
+        b.connect(dn[i], dn[i + 1], false);
+        // … and each stage has capacity one: its next event waits for the
+        // successor to consume the previous one.
+        b.connect(up[i + 1], dn[i], false);
+        b.connect(dn[i + 1], up[i], true);
+    }
+    b.build().expect("pipeline_2ph is well-formed")
+}
+
+/// A four-phase handshake paced by a two-phase toggle: each round is
+/// `r+ ; a+ ; r- ; a- ; t~`, and the period spans two rounds so `t` is
+/// consistent.
+///
+/// The code `(r, a) = (0, 0)` occurs both right after `a-` (with the
+/// output toggle `t~` excited) and right after `t~` (waiting for the
+/// input `r+`), in both phases of `t` — so CSC fails on two state pairs
+/// and a state signal must be inserted.  The smallest mixed
+/// two-/four-phase encoding benchmark in the corpus.
+pub fn mixed_handshake() -> Stg {
+    let mut b = StgBuilder::new("mixed_handshake");
+    let r = b.add_input("r");
+    let a = b.add_output("a");
+    let t = b.add_output("t");
+    let mut cycle = Vec::new();
+    for _ in 0..2 {
+        cycle.push(b.add_edge(r, Polarity::Rise));
+        cycle.push(b.add_edge(a, Polarity::Rise));
+        cycle.push(b.add_edge(r, Polarity::Fall));
+        cycle.push(b.add_edge(a, Polarity::Fall));
+        cycle.push(b.add_edge(t, Polarity::Toggle));
+    }
+    b.connect_cycle(&cycle);
+    b.build().expect("mixed_handshake is well-formed")
+}
+
 /// All named (non-scalable) benchmarks with their expected CSC status,
 /// as `(name, model, csc_holds)` triples.  Used by the Table 2 harness.
 pub fn table2_suite() -> Vec<(&'static str, Stg, bool)> {
@@ -307,6 +426,22 @@ pub fn table2_suite() -> Vec<(&'static str, Stg, bool)> {
         ("par4", parallelizer(4), true),
         ("par_hs2", parallel_handshakes(2), true),
         ("pulser_bank2", pulser_bank(2), false),
+    ]
+}
+
+/// The gate-level corpus: controllers from the asynchronous-design
+/// literature that stress the netlist back-end in qualitatively different
+/// ways — arbitration (not speed independent), four-phase and two-phase
+/// pipelining (speed independent, C-element rich), and a mixed-protocol
+/// handshake with a genuine CSC conflict.
+///
+/// Returned as `(name, model, csc_holds)` triples like [`table2_suite`].
+pub fn corpus_suite() -> Vec<(&'static str, Stg, bool)> {
+    vec![
+        ("arbiter", arbiter(), true),
+        ("pipe4_3", pipeline_4ph(3), false),
+        ("pipe2_4", pipeline_2ph(4), true),
+        ("mixed_handshake", mixed_handshake(), false),
     ]
 }
 
